@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+reproduced rows/series (captured output is shown with ``pytest -s``).  The
+experiment functions are executed once per benchmark (``pedantic`` with one
+round): they are macro-benchmarks whose interesting output is the result,
+with the wall-clock time recorded on the side.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

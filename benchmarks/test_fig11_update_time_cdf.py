@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Fig. 11 (CDF of the update time at 400 switches).
+
+Paper result: most Chronus updates finish within ~15 time units and OPT
+within ~13 -- Chronus is near-optimal.
+"""
+
+from repro.experiments.fig11 import run_fig11
+
+
+def test_fig11_update_time_cdf(benchmark, once):
+    result = once(
+        benchmark,
+        run_fig11,
+        switch_count=400,
+        instances=15,
+        opt_budget=1.0,
+    )
+    print()
+    print(result.render())
+    assert len(result.chronus_times) == 15
+    # OPT never loses, Chronus stays within a couple of steps of it.
+    for chronus, opt in zip(result.chronus_times, result.opt_times):
+        assert opt <= chronus
+        assert chronus - opt <= 4
+    # The paper's scale: updates complete within ~15 time units.
+    assert max(result.chronus_times) <= 20

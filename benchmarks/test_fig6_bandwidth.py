@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 6 (bandwidth consumption during an update).
+
+Paper result: OR's asynchronous rounds push the hottest 5 Mbps link to
+~6 Mbps (beyond capacity), while Chronus and TP stay in the normal range.
+"""
+
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6_bandwidth_consumption(benchmark, once):
+    result = once(benchmark, run_fig6, duration=30.0)
+    print()
+    print(result.render())
+    assert result.peaks["chronus"] <= result.capacity + 1e-6
+    assert result.peaks["tp"] <= result.capacity + 1e-6
+    assert result.peaks["or"] > result.capacity + 1e-6

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table II (flow tables at source and destination)."""
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2_flow_tables(benchmark, once):
+    result = once(benchmark, run_table2, switch_count=12, seed=12)
+    print()
+    print(result.render())
+    # Sanity: the transition tables carry the extra versioned rules.
+    assert len(result.source_rows_two_phase) > len(result.source_rows)
+    assert len(result.destination_rows_two_phase) > len(result.destination_rows)

@@ -1,0 +1,60 @@
+"""Link-failure reaction: consistent reroutes under time pressure.
+
+The paper's fourth motivating scenario (Section I): "fast network update
+mechanisms are required to react quickly to link failures and determine a
+failover path".  This example simulates a sequence of link failures on a
+WAN-like topology: for each failure the planner computes a backup route,
+Algorithm 1 decides whether a congestion- and loop-free transition exists,
+and Algorithm 2 emits the timed schedule -- all in one call, fast enough
+for a reactive control loop.
+
+Run:  python examples/link_failover.py
+"""
+
+import random
+import time
+
+from repro.network.topology import waxman_topology
+from repro.planning import plan_link_failover, shortest_delay_path
+
+SEED = 31
+
+
+def main() -> None:
+    rng = random.Random(SEED)
+    network = waxman_topology(40, rng=rng, alpha=0.7, beta=0.7, max_delay=3)
+    source, destination = "v1", "v40"
+    path = shortest_delay_path(network, source, destination)
+    if path is None:
+        raise SystemExit("seeded topology is disconnected; change SEED")
+    print(f"Primary route {source} -> {destination}: {' -> '.join(path)}\n")
+
+    consistent = 0
+    reacted = 0
+    for trial in range(6):
+        links = list(zip(path, path[1:]))
+        failed = rng.choice(links)
+        started = time.perf_counter()
+        plan = plan_link_failover(network, path, failed, demand=1.0)
+        elapsed_ms = (time.perf_counter() - started) * 1000
+        print(f"failure #{trial + 1}: link {failed[0]} -> {failed[1]} down")
+        if plan is None:
+            print("  no backup route exists; flow is partitioned\n")
+            continue
+        reacted += 1
+        consistent += plan.consistent
+        verdict = (
+            "congestion- and loop-free"
+            if plan.consistent
+            else "best effort (no consistent transition exists)"
+        )
+        print(f"  backup: {' -> '.join(plan.backup_path)}")
+        print(f"  schedule: {plan.result.schedule}")
+        print(f"  transition: {verdict}; planned in {elapsed_ms:.1f} ms\n")
+        path = list(plan.backup_path)  # next failure hits the new route
+
+    print(f"{consistent}/{reacted} failovers had a provably consistent transition")
+
+
+if __name__ == "__main__":
+    main()

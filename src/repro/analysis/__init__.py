@@ -1,0 +1,31 @@
+"""Metrics and statistics for the evaluation harness."""
+
+from repro.analysis.metrics import (
+    ScheduleMetrics,
+    evaluate_schedule,
+    congested_timed_links,
+)
+from repro.analysis.illustrate import (
+    render_dependency_evolution,
+    render_flow_timeline,
+)
+from repro.analysis.stats import (
+    BoxStats,
+    box_stats,
+    cdf_points,
+    mean,
+    percentile,
+)
+
+__all__ = [
+    "ScheduleMetrics",
+    "evaluate_schedule",
+    "congested_timed_links",
+    "render_dependency_evolution",
+    "render_flow_timeline",
+    "BoxStats",
+    "box_stats",
+    "cdf_points",
+    "mean",
+    "percentile",
+]

@@ -1,0 +1,77 @@
+"""Small statistics helpers (means, percentiles, CDFs, box plots)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for empty input."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    data = sorted(values)
+    if not data:
+        raise ValueError("percentile of empty data")
+    if len(data) == 1:
+        return float(data[0])
+    rank = (q / 100.0) * (len(data) - 1)
+    low = int(rank)
+    high = min(low + 1, len(data) - 1)
+    frac = rank - low
+    return data[low] * (1.0 - frac) + data[high] * frac
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as ``(value, probability)`` steps (Fig. 11)."""
+    data = sorted(values)
+    n = len(data)
+    if n == 0:
+        return []
+    points: List[Tuple[float, float]] = []
+    for index, value in enumerate(data, start=1):
+        if points and points[-1][0] == value:
+            points[-1] = (value, index / n)
+        else:
+            points.append((value, index / n))
+    return points
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary for box plots (Fig. 9)."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    def row(self) -> str:
+        return (
+            f"min={self.minimum:.0f} q1={self.q1:.0f} med={self.median:.0f} "
+            f"q3={self.q3:.0f} max={self.maximum:.0f} mean={self.mean:.1f}"
+        )
+
+
+def box_stats(values: Sequence[float]) -> BoxStats:
+    """Five-number summary plus mean."""
+    if not values:
+        raise ValueError("box stats of empty data")
+    return BoxStats(
+        minimum=min(values),
+        q1=percentile(values, 25),
+        median=percentile(values, 50),
+        q3=percentile(values, 75),
+        maximum=max(values),
+        mean=mean(values),
+    )

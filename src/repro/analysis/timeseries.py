@@ -1,0 +1,54 @@
+"""Rendering helpers for time series and result tables (text output).
+
+Every experiment prints the exact rows/series the paper plots; these
+helpers keep the formatting consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A fixed-width text table."""
+    columns = [list(map(_fmt, col)) for col in zip(*([headers] + [list(r) for r in rows]))]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(map(_fmt, headers), widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(_fmt(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    time_label: str = "time (s)",
+    value_label: str = "Mbps",
+    title: str = "",
+) -> str:
+    """Align several ``(time, value)`` series on their time axis."""
+    times: List[float] = sorted({t for points in series.values() for t, _ in points})
+    headers = [time_label] + [f"{name} {value_label}" for name in series]
+    lookup = {name: dict(points) for name, points in series.items()}
+    rows: List[List[object]] = []
+    for t in times:
+        row: List[object] = [round(t, 2)]
+        for name in series:
+            value = lookup[name].get(t)
+            row.append("-" if value is None else round(value, 2))
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

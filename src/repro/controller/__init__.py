@@ -1,0 +1,49 @@
+"""SDN control plane: controller, asynchronous channel, clocks, executors.
+
+The Floodlight-controller analogue.  The control channel delivers FlowMods
+with per-switch random latencies (the source of the out-of-order arrivals
+that motivate the paper); barrier request/reply pairs provide the
+round-synchronisation primitive of Algorithm 5; per-switch clocks with
+bounded offset model Time4-style scheduled updates, letting Chronus fire
+rule changes at precise data-plane times.
+"""
+
+from repro.controller.messages import (
+    BarrierReply,
+    BarrierRequest,
+    FlowModAdd,
+    FlowModDelete,
+    FlowModModify,
+)
+from repro.controller.channel import (
+    ConstantDelayModel,
+    ControlChannel,
+    DionysusDelayModel,
+    UniformDelayModel,
+)
+from repro.controller.clock import SwitchClock, synchronized_clocks
+from repro.controller.controller import Controller, ManagedSwitch
+from repro.controller.executor import (
+    ExecutionTrace,
+    perform_timed_update,
+    perform_round_update,
+)
+
+__all__ = [
+    "BarrierReply",
+    "BarrierRequest",
+    "FlowModAdd",
+    "FlowModDelete",
+    "FlowModModify",
+    "ConstantDelayModel",
+    "ControlChannel",
+    "DionysusDelayModel",
+    "UniformDelayModel",
+    "SwitchClock",
+    "synchronized_clocks",
+    "Controller",
+    "ManagedSwitch",
+    "ExecutionTrace",
+    "perform_timed_update",
+    "perform_round_update",
+]

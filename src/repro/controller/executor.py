@@ -1,0 +1,181 @@
+"""Algorithm 5: performing the timed network update.
+
+Two execution strategies are provided:
+
+* :func:`perform_timed_update` -- the Time4 strategy Chronus targets: every
+  FlowMod carries its scheduled switch-local execution time and is shipped
+  ahead of time; rules flip at (clock-offset-accurate) data-plane times.
+* :func:`perform_round_update` -- the paper's prototype strategy
+  (Algorithm 5 verbatim) usable by every protocol: per time step, send the
+  step's update messages, send barrier requests, wait for all barrier
+  replies, sleep one time unit, proceed.  With OR plans this reproduces the
+  asynchronous round behaviour whose congestion Fig. 6 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.controller.controller import Controller
+from repro.controller.messages import (
+    FlowModAdd,
+    FlowModModify,
+    next_xid,
+)
+from repro.core.instance import UpdateInstance
+from repro.core.schedule import UpdateSchedule
+from repro.network.graph import Node
+from repro.simulator.dataplane import DataPlane
+from repro.simulator.flowtable import FlowRule, Match
+
+
+@dataclass
+class ExecutionTrace:
+    """What actually happened on the wire and in the tables.
+
+    Attributes:
+        planned: Intended true-time execution point per switch.
+        applied: Actual true time each switch's rule flip took effect.
+        finished_at: Time the final barrier reply (or last apply) landed.
+    """
+
+    planned: Dict[Node, float] = field(default_factory=dict)
+    applied: Dict[Node, float] = field(default_factory=dict)
+    finished_at: Optional[float] = None
+
+    @property
+    def max_skew(self) -> float:
+        """Largest |applied - planned| across switches."""
+        gaps = [
+            abs(self.applied[node] - when)
+            for node, when in self.planned.items()
+            if node in self.applied
+        ]
+        return max(gaps, default=0.0)
+
+
+def _update_message(
+    plane: DataPlane, instance: UpdateInstance, node: Node, execute_at: Optional[float]
+):
+    """The FlowMod that moves ``node`` to its new rule."""
+    new_hop = instance.new_next_hop(node)
+    if new_hop is None:
+        raise ValueError(f"switch {node!r} has no new rule")
+    port = plane.port_of(node, new_hop)
+    rule_name = instance.flow.name
+    if instance.old_next_hop(node) is not None:
+        return FlowModModify(
+            xid=next_xid(), rule_name=rule_name, out_port=port, execute_at=execute_at
+        )
+    rule = FlowRule(
+        name=rule_name,
+        match=Match(dst_prefix=str(instance.destination)),
+        out_port=port,
+    )
+    return FlowModAdd(xid=next_xid(), rule=rule, execute_at=execute_at)
+
+
+def perform_timed_update(
+    controller: Controller,
+    plane: DataPlane,
+    instance: UpdateInstance,
+    schedule: UpdateSchedule,
+    time_unit: float = 1.0,
+    start_at: Optional[float] = None,
+    lead_time: float = 0.5,
+) -> ExecutionTrace:
+    """Ship scheduled FlowMods ahead of time; switches fire them on their clocks.
+
+    Args:
+        controller: The controller managing the plane's switches.
+        plane: The data plane (for port lookups).
+        instance: The update instance.
+        schedule: Timed update schedule (integer steps).
+        time_unit: Seconds per schedule step.
+        start_at: True time of schedule step ``t0`` (default: now +
+            ``lead_time`` so messages arrive before their execution times).
+        lead_time: Shipping headroom in seconds.
+
+    Returns:
+        An :class:`ExecutionTrace` (``applied`` fills in as the simulation
+        runs; query it after ``sim.run``).
+    """
+    sim = plane.sim
+    if start_at is None:
+        start_at = sim.now + lead_time
+    trace = ExecutionTrace()
+    xids: Dict[Node, int] = {}
+    for node, step in schedule.items():
+        when_true = start_at + (step - schedule.t0) * time_unit
+        trace.planned[node] = when_true
+        local = controller.managed(node).clock.local_time(when_true)
+        message = _update_message(plane, instance, node, execute_at=local)
+        xids[node] = message.xid
+        controller.send_flow_mod(node, message)
+
+    def harvest() -> None:
+        for node, xid in xids.items():
+            applied = controller.apply_time(node, xid)
+            if applied is not None:
+                trace.applied[node] = applied
+        trace.finished_at = max(trace.applied.values(), default=sim.now)
+
+    last = max(trace.planned.values(), default=sim.now)
+    sim.schedule_at(last + lead_time, harvest)
+    return trace
+
+
+def perform_round_update(
+    controller: Controller,
+    plane: DataPlane,
+    instance: UpdateInstance,
+    schedule: UpdateSchedule,
+    time_unit: float = 1.0,
+    on_finish: Optional[Callable[[ExecutionTrace], None]] = None,
+) -> ExecutionTrace:
+    """Algorithm 5: paced rounds with barriers and one-time-unit sleeps.
+
+    For each schedule time step (in order): send the step's update messages,
+    send a barrier request to each touched switch, wait for all barrier
+    replies, sleep one time unit, continue.  Rule flips happen after the
+    switches' random installation latencies, so consecutive steps stay
+    ordered (barriers) but switches within a step are asynchronous.
+
+    Returns:
+        The (eventually filled) :class:`ExecutionTrace`.
+    """
+    sim = plane.sim
+    trace = ExecutionTrace()
+    rounds: List[Tuple[int, Tuple[Node, ...]]] = schedule.rounds()
+    xids: Dict[Node, int] = {}
+
+    def run_round(index: int) -> None:
+        if index >= len(rounds):
+            for node, xid in xids.items():
+                applied = controller.apply_time(node, xid)
+                if applied is not None:
+                    trace.applied[node] = applied
+            trace.finished_at = sim.now
+            if on_finish is not None:
+                on_finish(trace)
+            return
+        step, nodes = rounds[index]
+        outstanding = {node: False for node in nodes}
+        for node in nodes:
+            trace.planned[node] = sim.now
+            message = _update_message(plane, instance, node, execute_at=None)
+            xids[node] = message.xid
+            controller.send_flow_mod(node, message)
+
+        def on_reply(reply, node=None) -> None:
+            outstanding[reply.switch] = True
+            if all(outstanding.values()):
+                # Sleep one time unit, then the next round (line 9).
+                sim.schedule_after(time_unit, lambda: run_round(index + 1))
+
+        for node in nodes:
+            controller.send_barrier(node, on_reply)
+
+    run_round(0)
+    return trace

@@ -1,0 +1,73 @@
+"""OpenFlow-style control messages.
+
+Only the slice of OpenFlow the paper exercises: the three FlowMod flavours
+(add / modify-action / delete), barrier request/reply (``OFBarrierRequest``
+and ``OFBarrierReply`` in Floodlight), and an optional *execution time* on
+FlowMods -- the Time4-style scheduled-update extension that Chronus relies
+on ("updates can be scheduled accurately on the order of one microsecond").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simulator.flowtable import FlowRule
+
+_xids = itertools.count(1)
+
+
+def next_xid() -> int:
+    """Fresh OpenFlow transaction id."""
+    return next(_xids)
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """Base class: every message carries a transaction id."""
+
+    xid: int
+
+
+@dataclass(frozen=True)
+class FlowModAdd(ControlMessage):
+    """Install a new rule, optionally at a scheduled local time."""
+
+    rule: FlowRule = None  # type: ignore[assignment]
+    execute_at: Optional[float] = None  # switch-local time (Time4)
+
+
+@dataclass(frozen=True)
+class FlowModModify(ControlMessage):
+    """Rewrite an existing rule's action in place."""
+
+    rule_name: str = ""
+    out_port: Optional[int] = None
+    set_tag: Optional[int] = None
+    execute_at: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class FlowModDelete(ControlMessage):
+    """Remove a rule."""
+
+    rule_name: str = ""
+    execute_at: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class BarrierRequest(ControlMessage):
+    """Flush marker: the switch replies once all prior messages finished.
+
+    Per the OpenFlow spec, a barrier reply is sent only after every message
+    received before the barrier has been fully processed -- including
+    *scheduled* FlowMods, which complete at their execution time.
+    """
+
+
+@dataclass(frozen=True)
+class BarrierReply(ControlMessage):
+    """The switch's completion acknowledgement for a barrier request."""
+
+    switch: str = ""

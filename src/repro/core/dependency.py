@@ -1,0 +1,259 @@
+"""Algorithm 3: dependency relation sets.
+
+At a given time step ``t``, Algorithm 3 decides in which *order* pending
+switches may update: if updating ``v_i`` now would push new flow through a
+switch ``v`` whose outgoing link ``(v, v~)`` still carries old flow fed by
+the old-path predecessor ``v-`` -- and that link cannot hold both flows
+(``C < 2d``) -- then ``v-`` must update (and its old flow drain) before
+``v_i``.  Relations sharing a common switch merge into chains, e.g.
+``{v1 -> v2}`` and ``{v2 -> v3}`` merge into ``{v1 -> v2 -> v3}``
+(Fig. 5 of the paper).
+
+The *liveness* of old flow ("the solid line still exists at ``v(t')`` in the
+time-extended network") is computed from the committed update times: the
+last unit of old flow through a switch is the last emission that clears
+every already-updated upstream switch before its update time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.instance import UpdateInstance
+from repro.network.graph import Node
+from repro.network.paths import arrival_offsets
+
+_EPS = 1e-9
+
+
+@dataclass
+class DependencySet:
+    """The dependency relation set ``O_t`` of one time step.
+
+    Attributes:
+        chains: Ordered chains of pending switches; a switch may only update
+            once every switch before it in its chain has updated *and* the
+            corresponding old flow has drained.  Unconstrained switches form
+            singleton chains.
+        deferred: Pending switches that must simply wait for in-flight old
+            traffic to drain (their blocker has already been updated, so no
+            switch-ordering relation expresses the wait).
+        has_cycle: ``True`` when the raw relations are cyclic, in which case
+            no congestion-free update order exists at this time step
+            (Algorithm 2, lines 7-8).
+    """
+
+    chains: List[List[Node]] = field(default_factory=list)
+    deferred: Set[Node] = field(default_factory=set)
+    has_cycle: bool = False
+
+    @property
+    def heads(self) -> List[Node]:
+        """Switches allowed to update now: chain heads that are not deferred."""
+        return [chain[0] for chain in self.chains if chain and chain[0] not in self.deferred]
+
+
+def last_old_emission(instance: UpdateInstance, applied: Mapping[Node, int]) -> Optional[int]:
+    """The last emission time that still travels the *full* old path.
+
+    A unit emitted at ``e`` departs old-path switch ``a`` at ``e + off(a)``
+    and follows the old rule there iff ``e + off(a) < update_time(a)``.
+    Returns ``None`` when no old-path switch has been updated yet (old flow
+    keeps coming indefinitely).
+    """
+    old_path = instance.old_path
+    offsets = arrival_offsets(instance.network, old_path)
+    bound: Optional[int] = None
+    for node, offset in zip(old_path, offsets):
+        when = applied.get(node)
+        if when is None:
+            continue
+        candidate = when - offset - 1
+        bound = candidate if bound is None else min(bound, candidate)
+    return bound
+
+
+def last_old_departure(
+    instance: UpdateInstance, applied: Mapping[Node, int], node: Node
+) -> Optional[float]:
+    """Last time old flow departs ``node`` along the old path.
+
+    ``None`` when ``node`` is not on the old path; ``inf`` when old flow
+    never stops (no upstream switch updated yet).  Only switches *upstream
+    of or equal to* ``node`` gate its old departures.
+    """
+    old_path = instance.old_path
+    if node not in old_path:
+        return None
+    offsets = arrival_offsets(instance.network, old_path)
+    index = old_path.index(node)
+    bound: Optional[int] = None
+    for ancestor, offset in zip(old_path[: index + 1], offsets):
+        when = applied.get(ancestor)
+        if when is None:
+            continue
+        candidate = when - offset - 1
+        bound = candidate if bound is None else min(bound, candidate)
+    if bound is None:
+        return float("inf")
+    return bound + offsets[index]
+
+
+def drain_table(
+    instance: UpdateInstance, applied: Mapping[Node, int]
+) -> Dict[Node, float]:
+    """Last old-flow departure time per old-path switch, in one pass.
+
+    Equivalent to calling :func:`last_old_departure` for every switch but
+    linear overall: the binding constraint for a switch is the minimum of
+    ``update_time(a) - off(a)`` over its old-path ancestors, a prefix
+    minimum along the path.
+    """
+    old_path = instance.old_path
+    offsets = instance.old_path_offsets
+    table: Dict[Node, float] = {}
+    prefix_min = float("inf")
+    for node in old_path:
+        offset = offsets[node]
+        when = applied.get(node)
+        if when is not None:
+            prefix_min = min(prefix_min, when - offset)
+        table[node] = prefix_min - 1 + offset
+    return table
+
+
+def dependency_relations(
+    instance: UpdateInstance,
+    pending: Sequence[Node],
+    applied: Mapping[Node, int],
+    t: int,
+) -> DependencySet:
+    """Algorithm 3: build the dependency relation set ``O_t``.
+
+    Args:
+        instance: The update instance.
+        pending: Switches still awaiting their update (the set ``Gamma``).
+        applied: Committed ``switch -> update time`` assignments.
+        t: The current time step.
+
+    Returns:
+        The merged chains, deferred switches and cycle flag.
+    """
+    network = instance.network
+    demand = instance.demand
+    pending_set = set(pending)
+    relations: List[Tuple[Node, Node]] = []  # (before, after)
+    deferred: Set[Node] = set()
+    # The paper's `include` flag (lines 2 and 10-11): once a switch takes
+    # part in a relation it is not examined as v_i again this step, which
+    # keeps the relation set a union of chains instead of a dense digraph.
+    marked: Set[Node] = set()
+    drains = drain_table(instance, applied)
+
+    for v_i in pending:
+        if v_i in marked:
+            continue
+        v = instance.new_next_hop(v_i)
+        if v is None or v == instance.destination:
+            continue
+        t_arrival = t + network.delay(v_i, v)
+        # The switch v forwards with its *current* rule when the new flow
+        # arrives: old while pending, new once updated.
+        if v in applied and applied[v] <= t_arrival:
+            v_tilde = instance.new_next_hop(v)
+        else:
+            v_tilde = instance.old_next_hop(v)
+        if v_tilde is None:
+            continue
+        link = network.get_link(v, v_tilde)
+        if link is None or link.capacity + _EPS >= 2 * demand:
+            continue
+        # Old flow still departs (v, v~) at or after the new flow's arrival?
+        drain = drains.get(v)
+        if drain is None or drain < t_arrival:
+            continue
+        v_bar = instance.old_predecessor(v)
+        if v_bar is not None and v_bar in pending_set and v_bar != v_i:
+            relations.append((v_bar, v_i))
+            marked.add(v_bar)
+            marked.add(v_i)
+        else:
+            # The feeder has been updated (or is the flow itself): the old
+            # flow will drain with time; v_i just has to wait.
+            deferred.add(v_i)
+
+    chains, has_cycle = merge_relations(relations, pending)
+    return DependencySet(chains=chains, deferred=deferred, has_cycle=has_cycle)
+
+
+def merge_relations(
+    relations: Sequence[Tuple[Node, Node]], pending: Sequence[Node]
+) -> Tuple[List[List[Node]], bool]:
+    """Merge pairwise relations on common switches into ordered chains.
+
+    Follows the paper's line 12 ("merge the dependency relation set with the
+    common element"): relations form a precedence digraph; each weakly
+    connected component is linearised topologically into one chain.  A
+    cyclic component sets the cycle flag.
+
+    Returns:
+        ``(chains, has_cycle)`` -- chains cover every pending switch
+        (singletons for unconstrained ones) in a deterministic order.
+    """
+    successors: Dict[Node, List[Node]] = {}
+    indegree: Dict[Node, int] = {}
+    members: Dict[Node, None] = {}
+    for before, after in relations:
+        successors.setdefault(before, []).append(after)
+        indegree[after] = indegree.get(after, 0) + 1
+        indegree.setdefault(before, 0)
+        members.setdefault(before)
+        members.setdefault(after)
+
+    # Kahn's algorithm per component; pending order keeps output stable.
+    order: List[Node] = []
+    ready = [node for node in members if indegree[node] == 0]
+    ready.sort(key=_stable_key(pending))
+    indegree = dict(indegree)
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for nxt in successors.get(node, ()):  # decrement downstream
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                ready.append(nxt)
+        ready.sort(key=_stable_key(pending))
+    has_cycle = len(order) < len(members)
+
+    # Group the topological order into weakly connected components.
+    component: Dict[Node, int] = {}
+    parent: Dict[Node, Node] = {node: node for node in members}
+
+    def find(node: Node) -> Node:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    for before, after in relations:
+        ra, rb = find(before), find(after)
+        if ra != rb:
+            parent[ra] = rb
+
+    chains_by_root: Dict[Node, List[Node]] = {}
+    for node in order:
+        chains_by_root.setdefault(find(node), []).append(node)
+
+    chains = list(chains_by_root.values())
+    covered = set(members)
+    for node in pending:
+        if node not in covered:
+            chains.append([node])
+    chains.sort(key=lambda chain: _stable_key(pending)(chain[0]))
+    return chains, has_cycle
+
+
+def _stable_key(pending: Sequence[Node]):
+    index = {node: i for i, node in enumerate(pending)}
+    return lambda node: index.get(node, len(index))

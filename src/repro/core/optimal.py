@@ -1,0 +1,251 @@
+"""OPT: exact minimum-update-time search.
+
+The paper obtains OPT by solving the MUTP integer program with branch and
+bound.  This module provides the practical exact solver: a depth-first
+branch-and-bound over *timed update decisions* -- at every time step, branch
+over the subsets of currently-safe switches to update (plus waiting) -- with
+the interval tracker (:mod:`repro.core.intervals`) as the exact transient
+state.  The search prunes on the incumbent makespan and on the drain
+fix-point (waiting past the last finite flow class cannot unblock anything),
+and honours a wall-clock budget so the Fig. 10 cutoff behaviour can be
+reproduced.  :func:`exhaustive_schedule` is the brutally simple oracle used
+by the test suite on tiny instances.
+
+The ILP formulation itself lives in :mod:`repro.core.mutp`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.greedy import greedy_schedule
+from repro.core.instance import UpdateInstance
+from repro.core.intervals import IntervalTracker
+from repro.core.schedule import UpdateSchedule
+from repro.core.trace import trace_schedule
+from repro.network.graph import Node
+
+
+@dataclass
+class OptimalResult:
+    """Outcome of the exact search.
+
+    Attributes:
+        schedule: Best congestion- and loop-free schedule found, or ``None``.
+        proven: Whether the search ran to completion (so the result is the
+            true optimum / a true infeasibility proof).
+        explored: Number of search nodes visited.
+        elapsed: Wall-clock seconds spent.
+    """
+
+    schedule: Optional[UpdateSchedule]
+    proven: bool
+    explored: int
+    elapsed: float
+
+    @property
+    def feasible(self) -> Optional[bool]:
+        """``True``/``False`` when known, ``None`` when the budget ran out."""
+        if self.schedule is not None:
+            return True
+        return False if self.proven else None
+
+    @property
+    def makespan(self) -> Optional[int]:
+        return None if self.schedule is None else self.schedule.makespan
+
+
+def optimal_schedule(
+    instance: UpdateInstance,
+    t0: int = 0,
+    time_budget: Optional[float] = None,
+    max_branch_width: int = 12,
+    max_horizon: Optional[int] = None,
+) -> OptimalResult:
+    """Find a minimum-makespan congestion- and loop-free schedule.
+
+    Args:
+        instance: The update instance.
+        t0: Earliest permitted update time.
+        time_budget: Wall-clock budget in seconds (``None`` = unlimited);
+            when exceeded the best incumbent is returned with
+            ``proven=False``.
+        max_branch_width: Cap on the candidate set considered per time step
+            (subsets are enumerated, so this bounds the branching factor).
+        max_horizon: Latest step (relative to ``t0``) any update may take;
+            defaults to a generous function of the instance size.
+
+    Returns:
+        An :class:`OptimalResult`.
+    """
+    pending_all: Tuple[Node, ...] = tuple(instance.switches_to_update)
+    if not pending_all:
+        empty = UpdateSchedule(times={}, start_time=t0)
+        return OptimalResult(schedule=empty, proven=True, explored=0, elapsed=0.0)
+
+    if max_horizon is None:
+        max_horizon = (
+            2 * (instance.old_path_delay + instance.new_path_delay)
+            + 2 * len(instance.network)
+            + 8
+        )
+
+    started = time.monotonic()
+    explored = 0
+    timed_out = False
+    horizon_cut = False
+
+    # Seed the incumbent with the greedy schedule when it is feasible.
+    best_times: Optional[Dict[Node, int]] = None
+    best_makespan = max_horizon + 2
+    seed = greedy_schedule(instance, t0=t0)
+    if seed.feasible:
+        best_times = seed.schedule.as_dict()
+        best_makespan = seed.schedule.makespan
+
+    root = IntervalTracker(instance, t0=t0)
+
+    def out_of_time() -> bool:
+        nonlocal timed_out
+        if time_budget is not None and time.monotonic() - started > time_budget:
+            timed_out = True
+        return timed_out
+
+    def dfs(tracker: IntervalTracker, pending: Tuple[Node, ...], t: int, last_update: Optional[int]) -> None:
+        nonlocal explored, best_times, best_makespan, timed_out, horizon_cut
+        if timed_out:
+            return
+        if time_budget is not None and time.monotonic() - started > time_budget:
+            timed_out = True
+            return
+        explored += 1
+        if not pending:
+            makespan = 0 if last_update is None else last_update - t0 + 1
+            if makespan < best_makespan:
+                best_makespan = makespan
+                best_times = dict(tracker.applied)
+            return
+        # Any remaining update happens at >= t, so the final makespan is at
+        # least t - t0 + 1; prune when that cannot beat the incumbent.
+        if t - t0 + 1 >= best_makespan:
+            return
+        if t - t0 > max_horizon:
+            horizon_cut = True
+            return
+
+        candidates = _candidate_set(
+            tracker, pending, t, max_branch_width, out_of_time
+        )
+        if timed_out:
+            return
+
+        # Larger rounds first: updating more switches per step reaches
+        # complete schedules (and hence strong incumbents) sooner.
+        applied_any = False
+        for size in range(len(candidates), 0, -1):
+            for subset in itertools.combinations(candidates, size):
+                if not tracker.preview_round(list(subset), t).ok:
+                    continue
+                applied_any = True
+                child = tracker.clone()
+                child.apply_round(list(subset), t)
+                remaining = tuple(n for n in pending if n not in subset)
+                dfs(child, remaining, t + 1, t)
+                if timed_out:
+                    return
+        # Waiting branch: always worth trying after a successful round (a
+        # later window may allow a larger one); when nothing was safe it
+        # only helps while finite flow classes still drain.
+        if applied_any:
+            dfs(tracker, pending, t + 1, last_update)
+        else:
+            horizon = tracker.finite_drain_horizon()
+            if horizon is not None and t <= horizon:
+                dfs(tracker, pending, t + 1, last_update)
+
+    dfs(root, pending_all, t0, None)
+    elapsed = time.monotonic() - started
+    schedule = None
+    if best_times is not None:
+        schedule = UpdateSchedule(times=best_times, start_time=t0, feasible=True)
+    # An optimality claim survives a horizon cut (no schedule can beat the
+    # incumbent by updating even later), but an infeasibility claim does not.
+    proven = not timed_out and (schedule is not None or not horizon_cut)
+    return OptimalResult(
+        schedule=schedule,
+        proven=proven,
+        explored=explored,
+        elapsed=elapsed,
+    )
+
+
+def _candidate_set(
+    tracker: IntervalTracker,
+    pending: Tuple[Node, ...],
+    t: int,
+    max_branch_width: int,
+    out_of_time=None,
+) -> List[Node]:
+    """Switches worth branching on at step ``t``.
+
+    Round safety is not monotone: a switch that is unsafe alone can be safe
+    when updated *together* with another switch whose update drains the
+    conflicting traffic (and vice versa).  Small pending sets are therefore
+    branched in full; larger ones take every individually-safe switch plus
+    any unsafe switch that some pending partner rescues.
+    """
+    if len(pending) <= max_branch_width:
+        return list(pending)
+    safe: List[Node] = []
+    unsafe: List[Node] = []
+    for index, node in enumerate(pending):
+        if out_of_time is not None and index % 32 == 0 and out_of_time():
+            return safe
+        (safe if tracker.preview_round([node], t).ok else unsafe).append(node)
+    rescued: List[Node] = []
+    for node in unsafe:
+        if out_of_time is not None and out_of_time():
+            break
+        for partner in pending:
+            if partner is node:
+                continue
+            if tracker.preview_round([node, partner], t).ok:
+                rescued.append(node)
+                break
+    candidates = safe + rescued
+    if len(candidates) > max_branch_width:
+        candidates = candidates[:max_branch_width]
+    return candidates
+
+
+def exhaustive_schedule(
+    instance: UpdateInstance,
+    max_makespan: int,
+    t0: int = 0,
+) -> Optional[UpdateSchedule]:
+    """Brute-force oracle: try every time assignment up to ``max_makespan``.
+
+    Every switch gets every time in ``[t0, t0 + max_makespan - 1]``; each
+    complete assignment is validated with the unit tracer.  Exponential --
+    strictly for tests on tiny instances.
+
+    Returns:
+        A minimum-makespan valid schedule, or ``None`` if none exists within
+        the bound.
+    """
+    nodes = list(instance.switches_to_update)
+    if not nodes:
+        return UpdateSchedule(times={}, start_time=t0)
+    for makespan in range(1, max_makespan + 1):
+        slots = range(t0, t0 + makespan)
+        for assignment in itertools.product(slots, repeat=len(nodes)):
+            if max(assignment) != t0 + makespan - 1:
+                continue  # realise this makespan exactly (smaller ones failed)
+            times = dict(zip(nodes, assignment))
+            schedule = UpdateSchedule(times=times, start_time=t0)
+            if trace_schedule(instance, schedule).ok:
+                return schedule
+    return None

@@ -1,0 +1,147 @@
+"""Round-based loop-freedom machinery.
+
+Order-replacement protocols (Ludwig et al., PODC'15) update switches in
+*rounds*: within a round the data plane applies the new rules in an
+arbitrary, asynchronous order.  A round is transiently loop-free for every
+interleaving iff the *union forwarding graph* -- already-updated switches
+using their new rule, this round's switches keeping **both** rules, all
+others their old rule -- is acyclic: a simple cycle traverses each switch at
+most once and hence uses at most one of its out-edges, so any union-graph
+cycle is realised by some interleaving and vice versa.
+
+This module provides the exact safety check and a greedy maximal-round
+construction; it is shared by the OR baseline and by Chronus' best-effort
+fallback for infeasible instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.instance import UpdateInstance
+from repro.network.graph import Node
+
+
+def union_forwarding_edges(
+    instance: UpdateInstance,
+    updated: Set[Node],
+    in_round: Set[Node],
+) -> Dict[Node, List[Node]]:
+    """Out-edges of the union forwarding graph for one round.
+
+    Args:
+        instance: The update instance.
+        updated: Switches already running their new rule.
+        in_round: Switches updating in the round under test.
+    """
+    edges: Dict[Node, List[Node]] = {}
+    nodes = set(instance.old_config) | set(instance.new_config)
+    for node in nodes:
+        outs: List[Node] = []
+        old_hop = instance.old_next_hop(node)
+        new_hop = instance.new_next_hop(node)
+        if node in updated:
+            if new_hop is not None:
+                outs.append(new_hop)
+        elif node in in_round:
+            outs.extend(hop for hop in (old_hop, new_hop) if hop is not None)
+        else:
+            if old_hop is not None:
+                outs.append(old_hop)
+        edges[node] = outs
+    return edges
+
+
+def has_cycle(edges: Dict[Node, List[Node]]) -> bool:
+    """Iterative three-colour cycle detection on a small digraph."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[Node, int] = {}
+
+    for start in edges:
+        if colour.get(start, WHITE) != WHITE:
+            continue
+        stack: List[Tuple[Node, int]] = [(start, 0)]
+        colour[start] = GREY
+        while stack:
+            node, index = stack[-1]
+            children = edges.get(node, ())
+            if index < len(children):
+                stack[-1] = (node, index + 1)
+                child = children[index]
+                state = colour.get(child, WHITE)
+                if state == GREY:
+                    return True
+                if state == WHITE:
+                    colour[child] = GREY
+                    stack.append((child, 0))
+            else:
+                colour[node] = BLACK
+                stack.pop()
+    return False
+
+
+def round_is_loop_free(
+    instance: UpdateInstance,
+    updated: Set[Node],
+    in_round: Iterable[Node],
+) -> bool:
+    """Whether updating ``in_round`` together (after ``updated``) is safe
+    against transient forwarding loops under *every* interleaving."""
+    return not has_cycle(union_forwarding_edges(instance, updated, set(in_round)))
+
+
+def greedy_loop_free_rounds(
+    instance: UpdateInstance,
+    pending: Optional[Sequence[Node]] = None,
+    updated: Optional[Set[Node]] = None,
+    deadline: Optional[float] = None,
+) -> List[List[Node]]:
+    """Greedy maximal loop-free rounds covering all pending switches.
+
+    Each round greedily absorbs every pending switch that keeps the round
+    loop-free.  Switches that can never join a safe round (possible with
+    exotic drain rules) are force-updated alone in a final best-effort round
+    -- callers can detect this by re-checking the rounds.
+
+    Args:
+        deadline: ``time.monotonic()`` value after which the remaining
+            switches are dumped into one final (unchecked) round; used by
+            budgeted callers such as the Fig. 10 harness.
+
+    Returns:
+        The round partition, first round first.
+    """
+    import time as _time
+
+    if pending is None:
+        pending = list(instance.switches_to_update)
+    remaining: List[Node] = list(pending)
+    done: Set[Node] = set(updated or ())
+    rounds: List[List[Node]] = []
+    while remaining:
+        if deadline is not None and _time.monotonic() > deadline:
+            rounds.append(list(remaining))
+            break
+        current: List[Node] = []
+        for node in list(remaining):
+            if round_is_loop_free(instance, done, set(current) | {node}):
+                current.append(node)
+        if not current:
+            # No safe single update exists; force the first switch through to
+            # guarantee termination (the resulting loop is the instance's).
+            current = [remaining[0]]
+        for node in current:
+            remaining.remove(node)
+        done.update(current)
+        rounds.append(current)
+    return rounds
+
+
+def rounds_are_loop_free(instance: UpdateInstance, rounds: Sequence[Sequence[Node]]) -> bool:
+    """Validate a full round partition against the union-graph criterion."""
+    done: Set[Node] = set()
+    for round_nodes in rounds:
+        if not round_is_loop_free(instance, done, set(round_nodes)):
+            return False
+        done.update(round_nodes)
+    return True

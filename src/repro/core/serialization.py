@@ -1,0 +1,45 @@
+"""JSON persistence for schedules and plans (operational tooling).
+
+A timed update schedule is the artefact a production controller would hand
+to its execution layer (or archive for audits); these helpers give it a
+stable, versioned JSON form.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.core.schedule import UpdateSchedule
+
+_FORMAT = "chronus-schedule/1"
+
+
+def schedule_to_json(schedule: UpdateSchedule, indent: int = 2) -> str:
+    """Serialise a schedule to JSON text."""
+    payload: Dict[str, Any] = {
+        "format": _FORMAT,
+        "start_time": schedule.start_time,
+        "feasible": schedule.feasible,
+        "times": dict(schedule.times),
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def schedule_from_json(text: str) -> UpdateSchedule:
+    """Parse a schedule previously produced by :func:`schedule_to_json`.
+
+    Raises:
+        ValueError: on unknown format markers or malformed payloads.
+    """
+    payload = json.loads(text)
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} document")
+    times = payload.get("times")
+    if not isinstance(times, dict):
+        raise ValueError("missing 'times' mapping")
+    return UpdateSchedule(
+        times={str(node): int(when) for node, when in times.items()},
+        start_time=payload.get("start_time"),
+        feasible=bool(payload.get("feasible", True)),
+    )

@@ -1,0 +1,143 @@
+"""The time-extended network (Definition 4).
+
+For a network ``G`` and a discrete time window ``T``, the time-extended
+network ``G_T`` contains one copy ``v(t)`` of every switch per time step and
+a link ``u(t) -> v(t + sigma_{u,v})`` per original link, expressing the
+link's transmission delay.  Dynamic flows in ``G`` correspond to ordinary
+paths in ``G_T``, which is how the MUTP integer program and the congested
+link accounting of Fig. 8 are phrased.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.network.graph import Network, Node
+
+TimedNode = Tuple[Node, int]
+TimedLink = Tuple[TimedNode, TimedNode]
+
+
+@dataclass(frozen=True)
+class TimeExtendedNetwork:
+    """``G_T``: a materialised time-extended copy of a network.
+
+    Attributes:
+        network: The underlying network ``G``.
+        t_start: First time step in ``T`` (history steps may be negative
+            relative to the current time ``t0``; the paper draws the history
+            window to detect in-flight traffic).
+        t_end: Last time step in ``T`` (inclusive).
+    """
+
+    network: Network
+    t_start: int
+    t_end: int
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise ValueError("t_end must be >= t_start")
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> range:
+        """The time step set ``T``."""
+        return range(self.t_start, self.t_end + 1)
+
+    @property
+    def timed_nodes(self) -> Iterator[TimedNode]:
+        """All switch copies ``v(t)``."""
+        for t in self.times:
+            for node in self.network.switches:
+                yield (node, t)
+
+    @property
+    def timed_links(self) -> Iterator[TimedLink]:
+        """All links ``u(t) -> v(t + sigma_{u,v})`` fully inside the window."""
+        for t in self.times:
+            for link in self.network.links:
+                arrival = t + link.delay
+                if arrival <= self.t_end:
+                    yield ((link.src, t), (link.dst, arrival))
+
+    def contains_time(self, t: int) -> bool:
+        return self.t_start <= t <= self.t_end
+
+    def successors(self, timed_node: TimedNode) -> List[TimedNode]:
+        """Copies reachable from ``v(t)`` over one (delayed) link."""
+        node, t = timed_node
+        out: List[TimedNode] = []
+        for link in self.network.out_links(node):
+            arrival = t + link.delay
+            if arrival <= self.t_end:
+                out.append((link.dst, arrival))
+        return out
+
+    def predecessors(self, timed_node: TimedNode) -> List[TimedNode]:
+        """Copies from which ``v(t)`` is reachable over one (delayed) link."""
+        node, t = timed_node
+        out: List[TimedNode] = []
+        for link in self.network.in_links(node):
+            departure = t - link.delay
+            if departure >= self.t_start:
+                out.append((link.src, departure))
+        return out
+
+    def timed_link(self, src: Node, dst: Node, departure: int) -> TimedLink:
+        """The ``G_T`` link for departing ``src -> dst`` at ``departure``.
+
+        Raises:
+            KeyError: if the underlying link does not exist.
+            ValueError: if departure or arrival falls outside the window.
+        """
+        delay = self.network.delay(src, dst)
+        arrival = departure + delay
+        if not self.contains_time(departure) or not self.contains_time(arrival):
+            raise ValueError(
+                f"link {src!r}->{dst!r} departing at {departure} leaves the window"
+            )
+        return ((src, departure), (dst, arrival))
+
+    def capacity(self, timed_link: TimedLink) -> float:
+        """Capacity of a ``G_T`` link (equal to its original link's)."""
+        (src, _), (dst, _) = timed_link
+        return self.network.capacity(src, dst)
+
+    def extend(self, new_t_end: int) -> "TimeExtendedNetwork":
+        """A window grown to ``new_t_end`` (Algorithm 2 grows ``T`` each loop)."""
+        if new_t_end < self.t_end:
+            raise ValueError("cannot shrink the time window")
+        return TimeExtendedNetwork(self.network, self.t_start, new_t_end)
+
+    def timed_path(self, nodes: Sequence[Node], departure: int) -> List[TimedNode]:
+        """The ``G_T`` path of a unit departing ``nodes[0]`` at ``departure``.
+
+        The path is truncated at the window's end.
+        """
+        out: List[TimedNode] = [(nodes[0], departure)]
+        t = departure
+        for src, dst in zip(nodes, nodes[1:]):
+            t += self.network.delay(src, dst)
+            if t > self.t_end:
+                break
+            out.append((dst, t))
+        return out
+
+
+def build_window(network: Network, old_path_delay: int, t0: int, horizon: int) -> TimeExtendedNetwork:
+    """The paper's window: history steps covering in-flight traffic plus a future horizon.
+
+    Algorithm 2 initialises ``T = {t0 - sigma, ..., t0, t0+1}`` with ``sigma``
+    the old path's total delay, then grows the future edge step by step.
+
+    Args:
+        network: The underlying network.
+        old_path_delay: ``phi(p_init)``, bounding how long old traffic stays
+            in flight.
+        t0: The current time step.
+        horizon: Future steps beyond ``t0`` to include.
+    """
+    return TimeExtendedNetwork(network, t_start=t0 - old_path_delay, t_end=t0 + horizon)

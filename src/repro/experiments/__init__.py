@@ -1,0 +1,22 @@
+"""The evaluation harness: one module per table/figure of the paper.
+
+Every experiment exposes ``run_*`` returning structured results and a
+``main``-style entry point printing the paper's rows/series.  Default
+parameters are scaled so the whole harness finishes in minutes on a laptop;
+each module documents the paper's original scale and the knobs to reach it.
+
+| Module    | Reproduces                                                    |
+|-----------|---------------------------------------------------------------|
+| table2    | Table II -- flow tables at source and destination switches    |
+| fig6      | Fig. 6 -- bandwidth consumption over time during an update    |
+| fig7      | Fig. 7 -- percentage of congestion cases vs. network size     |
+| fig8      | Fig. 8 -- congested time-extended links vs. network size      |
+| fig9      | Fig. 9 -- forwarding-rule overhead, Chronus vs. two-phase     |
+| fig10     | Fig. 10 -- scheduler running time vs. network size            |
+| fig11     | Fig. 11 -- CDF of the update time, Chronus vs. OPT            |
+| walkthrough | Figs. 1/2/5 -- the Section II motivating example            |
+"""
+
+from repro.experiments import fig6, fig7, fig8, fig9, fig10, fig11, table2, walkthrough
+
+__all__ = ["table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "walkthrough"]

@@ -1,0 +1,42 @@
+"""Run the full evaluation harness: ``python -m repro.experiments``.
+
+Prints every table and figure of the paper's evaluation section with
+laptop-scale defaults; see EXPERIMENTS.md for the mapping to the paper's
+original scales.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import fig6, fig7, fig8, fig9, fig10, fig11, table2, walkthrough
+
+EXPERIMENTS = [
+    ("Figs. 1/2/5 (walkthrough)", walkthrough.main),
+    ("Table II", table2.main),
+    ("Fig. 6", fig6.main),
+    ("Fig. 7", fig7.main),
+    ("Fig. 8", fig8.main),
+    ("Fig. 9", fig9.main),
+    ("Fig. 10", fig10.main),
+    ("Fig. 11", fig11.main),
+]
+
+
+def main(argv=None) -> int:
+    only = set((argv or sys.argv[1:]))
+    for name, entry in EXPERIMENTS:
+        if only and not any(token.lower() in name.lower() for token in only):
+            continue
+        print("=" * 72)
+        print(name)
+        print("=" * 72)
+        started = time.monotonic()
+        entry()
+        print(f"[{name} finished in {time.monotonic() - started:.1f} s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

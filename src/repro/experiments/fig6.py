@@ -1,0 +1,233 @@
+"""Fig. 6: link bandwidth consumption over time during an update.
+
+Paper setup (Section V-A): Mininet with 10 switches, 5 Mbps links, a 5 Mbps
+aggregate flow, link delays between 5 ms and 1 s; bandwidth measured by
+polling byte counters every second.  OR's asynchronous rounds push the
+hottest link to ~6 Mbps (beyond capacity -> loss), while Chronus and TP stay
+within the normal range.
+
+Here the same scenario runs on the fluid data plane: Chronus executes its
+timed schedule via Time4-style scheduled FlowMods, TP flips the ingress tag
+after installing the versioned rules, and OR pushes round by round through
+the asynchronous control channel with Dionysus-shaped installation
+latencies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.controller import (
+    ConstantDelayModel,
+    ControlChannel,
+    Controller,
+    DionysusDelayModel,
+    perform_round_update,
+    perform_timed_update,
+    synchronized_clocks,
+)
+from repro.core.greedy import greedy_schedule
+from repro.core.instance import UpdateInstance, instance_from_topology
+from repro.core.schedule import UpdateSchedule
+from repro.network.topology import two_path_topology
+from repro.simulator import BandwidthMonitor, Simulator, build_dataplane
+from repro.simulator.dataplane import install_config
+from repro.simulator.flowtable import FlowRule, Match
+from repro.analysis.timeseries import render_series
+
+SCHEMES = ("chronus", "tp", "or")
+
+
+@dataclass
+class Fig6Result:
+    """Bandwidth series of the hottest link per scheme."""
+
+    series: Dict[str, List[Tuple[float, float]]]
+    peaks: Dict[str, float]
+    capacity: float
+
+    def render(self) -> str:
+        table = render_series(
+            {name: points for name, points in self.series.items()},
+            title=(
+                "Fig. 6 -- bandwidth consumption (hottest link) during the "
+                f"update; link capacity {self.capacity} Mbps"
+            ),
+        )
+        peaks = ", ".join(f"{k}={v:.2f}" for k, v in self.peaks.items())
+        return table + f"\npeaks: {peaks} Mbps"
+
+
+def run_fig6(
+    seed: int = 3,
+    switch_count: int = 10,
+    capacity_mbps: float = 5.0,
+    duration: float = 30.0,
+    update_at: float = 5.0,
+    delay_scale: float = 1.0,
+    max_delay_steps: int = 3,
+) -> Fig6Result:
+    """Run the three schemes on one randomly rerouted 10-switch topology.
+
+    Args:
+        seed: Seeds topology, final path and all latencies.
+        switch_count: Switches on the initial path (paper: 10).
+        capacity_mbps: Link capacity and flow rate (paper: 5 Mbps).
+        duration: Simulated seconds per scheme.
+        update_at: True time the update begins.
+        delay_scale: Seconds per model time step (link delays become
+            ``step * delay_scale`` seconds, paper range 5 ms - 1 s).
+        max_delay_steps: Link delays drawn from ``[1, max_delay_steps]``.
+    """
+    topo = two_path_topology(
+        switch_count,
+        rng=random.Random(seed),
+        capacity=capacity_mbps,
+        max_delay=max_delay_steps,
+    )
+    instance = instance_from_topology(topo, demand=capacity_mbps)
+
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    peaks: Dict[str, float] = {}
+    for scheme in SCHEMES:
+        monitor, plane = _run_scheme(
+            scheme, instance, seed, duration, update_at, delay_scale
+        )
+        hottest = monitor.peak_series()
+        series[scheme] = [(s.time, s.mbps) for s in hottest]
+        peaks[scheme] = max(
+            plane.links[link].peak_utilization() for link in plane.links
+        )
+    return Fig6Result(series=series, peaks=peaks, capacity=capacity_mbps)
+
+
+def _run_scheme(
+    scheme: str,
+    instance: UpdateInstance,
+    seed: int,
+    duration: float,
+    update_at: float,
+    delay_scale: float,
+):
+    rng = random.Random(seed * 1009 + SCHEMES.index(scheme) * 997)
+    sim = Simulator()
+    plane = build_dataplane(sim, instance.network, delay_scale=delay_scale)
+    install_config(plane, instance)
+    channel = ControlChannel(
+        sim,
+        network_delay=ConstantDelayModel(0.002),
+        install_delay=DionysusDelayModel(median=0.3, sigma=1.0, cap=2.0),
+        rng=rng,
+    )
+    clocks = synchronized_clocks(instance.network.switches, max_offset=1e-6, rng=rng)
+    controller = Controller(sim, channel, clocks)
+    for switch in plane.switches.values():
+        controller.manage(switch)
+    plane.inject_flow(
+        instance.source, "h1", str(instance.destination), rate=instance.demand
+    )
+    monitor = BandwidthMonitor(plane, interval=1.0)
+    monitor.start()
+    sim.run(until=update_at)
+
+    if scheme == "chronus":
+        schedule = greedy_schedule(instance).schedule
+        perform_timed_update(
+            controller, plane, instance, schedule, time_unit=delay_scale,
+            start_at=update_at + 0.5,
+        )
+    elif scheme == "tp":
+        _run_two_phase(sim, plane, controller, instance, update_at)
+    elif scheme == "or":
+        from repro.updates import OrderReplacementProtocol
+
+        protocol = OrderReplacementProtocol(rng=rng)
+        plan = protocol.plan(instance)
+        perform_round_update(
+            controller, plane, instance, plan.schedule, time_unit=1.0
+        )
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+    sim.run(until=duration)
+    return monitor, plane
+
+
+def _run_two_phase(sim, plane, controller, instance: UpdateInstance, update_at: float) -> None:
+    """Two-phase execution: versioned rules, ingress flip, then cleanup.
+
+    Phase 1 installs the tagged new configuration (traffic-invisible);
+    phase 2 flips the ingress stamp; once the untagged traffic drained, the
+    old-version rules are deleted -- completing the full two-phase protocol
+    including its table-space release.
+    """
+    from repro.controller.messages import (
+        FlowModAdd,
+        FlowModDelete,
+        FlowModModify,
+        next_xid,
+    )
+
+    new_tag = 2
+    dst_prefix = str(instance.destination)
+    # Phase 1: install tagged copies of the new configuration everywhere.
+    for node, nxt in instance.new_config.items():
+        rule = FlowRule(
+            name=f"{instance.flow.name}#v2",
+            match=Match(dst_prefix=dst_prefix, tag=new_tag),
+            out_port=plane.port_of(node, nxt),
+            priority=1,
+        )
+        controller.send_flow_mod(node, FlowModAdd(xid=next_xid(), rule=rule))
+    from repro.simulator.switch import HOST_PORT
+
+    controller.send_flow_mod(
+        instance.destination,
+        FlowModAdd(
+            xid=next_xid(),
+            rule=FlowRule(
+                name=f"{instance.flow.name}#v2",
+                match=Match(dst_prefix=dst_prefix, tag=new_tag),
+                out_port=HOST_PORT,
+                priority=1,
+            ),
+        ),
+    )
+
+    # Phase 2 (after the rules settled): stamp new packets at the ingress.
+    def flip() -> None:
+        controller.send_flow_mod(
+            instance.source,
+            FlowModModify(
+                xid=next_xid(),
+                rule_name=instance.flow.name,
+                out_port=plane.port_of(instance.source, instance.new_next_hop(instance.source)),
+                set_tag=new_tag,
+            ),
+        )
+
+    # Cleanup: remove the old-version rules once untagged traffic drained
+    # (the ingress keeps its -- now stamping -- rule).
+    def cleanup() -> None:
+        for node in instance.old_config:
+            if node == instance.source:
+                continue
+            controller.send_flow_mod(
+                node, FlowModDelete(xid=next_xid(), rule_name=instance.flow.name)
+            )
+
+    sim.schedule_at(update_at + 3.0, flip)
+    sim.schedule_at(update_at + 6.0 + instance.old_path_delay, cleanup)
+
+
+def main() -> str:
+    result = run_fig6()
+    text = result.render()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

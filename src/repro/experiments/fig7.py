@@ -1,0 +1,75 @@
+"""Fig. 7: percentage of congestion cases vs. network size.
+
+Paper: sizes 10..60 (step 10), 500 update instances per run, >= 30 runs.
+At 60 switches, more than 65% of instances are congestion-free under
+Chronus and OPT, against ~15% for OR -- Chronus tracks OPT closely and
+beats OR by ~60 percentage points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.timeseries import render_table
+from repro.experiments.sweep import (
+    SweepRecord,
+    congestion_free_percentage,
+    run_sweep,
+)
+
+SCHEMES = ("opt", "chronus", "or")
+
+
+@dataclass
+class Fig7Result:
+    switch_counts: List[int]
+    percentages: Dict[str, List[float]]  # scheme -> per-size %
+
+    def render(self) -> str:
+        rows = []
+        for index, count in enumerate(self.switch_counts):
+            rows.append(
+                [count]
+                + [round(self.percentages[scheme][index], 1) for scheme in SCHEMES]
+            )
+        return render_table(
+            ["switches"] + [f"{s} % congestion-free" for s in SCHEMES],
+            rows,
+            title="Fig. 7 -- congestion-free update instances (%)",
+        )
+
+
+def run_fig7(
+    switch_counts: Sequence[int] = (10, 20, 30, 40, 50, 60),
+    instances_per_size: int = 20,
+    base_seed: int = 1,
+    opt_budget: float = 1.0,
+) -> Fig7Result:
+    """Run the sweep and aggregate Fig. 7's percentages."""
+    records = run_sweep(
+        switch_counts,
+        instances_per_size=instances_per_size,
+        base_seed=base_seed,
+        schemes=SCHEMES,
+        opt_budget=opt_budget,
+    )
+    percentages = {
+        scheme: [
+            congestion_free_percentage(records, scheme, count)
+            for count in switch_counts
+        ]
+        for scheme in SCHEMES
+    }
+    return Fig7Result(switch_counts=list(switch_counts), percentages=percentages)
+
+
+def main() -> str:
+    result = run_fig7()
+    text = result.render()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

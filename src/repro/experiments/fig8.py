@@ -1,0 +1,67 @@
+"""Fig. 8: number of congested links (time-extended network) vs. size.
+
+Paper: same workload as Fig. 7; Chronus decreases the number of congested
+time-extended links by ~70% relative to OR, increasingly so at larger
+sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.timeseries import render_table
+from repro.experiments.sweep import SweepRecord, run_sweep, total_congested_links
+
+SCHEMES = ("chronus", "or")
+
+
+@dataclass
+class Fig8Result:
+    switch_counts: List[int]
+    congested: Dict[str, List[int]]
+
+    def render(self) -> str:
+        rows = []
+        for index, count in enumerate(self.switch_counts):
+            chronus = self.congested["chronus"][index]
+            order = self.congested["or"][index]
+            saving = 100.0 * (1 - chronus / order) if order else 0.0
+            rows.append([count, chronus, order, f"{saving:.0f}%"])
+        return render_table(
+            ["switches", "chronus", "or", "reduction"],
+            rows,
+            title="Fig. 8 -- congested links of the time-extended network (sum)",
+        )
+
+
+def run_fig8(
+    switch_counts: Sequence[int] = (10, 20, 30, 40, 50, 60),
+    instances_per_size: int = 20,
+    base_seed: int = 2,
+) -> Fig8Result:
+    """Run the sweep and sum congested time-extended links per scheme."""
+    records = run_sweep(
+        switch_counts,
+        instances_per_size=instances_per_size,
+        base_seed=base_seed,
+        schemes=SCHEMES,
+    )
+    congested = {
+        scheme: [
+            total_congested_links(records, scheme, count) for count in switch_counts
+        ]
+        for scheme in SCHEMES
+    }
+    return Fig8Result(switch_counts=list(switch_counts), congested=congested)
+
+
+def main() -> str:
+    result = run_fig8()
+    text = result.render()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Paper-scale presets: run the evaluation at the original magnitudes.
+
+The default harness is laptop-scaled (minutes).  This module re-runs every
+figure with the paper's own parameters -- 500 instances per point, sizes up
+to 6 000 switches, the 600-second cutoff -- which takes hours, exactly as
+the original evaluation did.
+
+Run:  python -m repro.experiments.paper_scale [fig7|fig8|fig9|fig10|fig11]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import fig7, fig8, fig9, fig10, fig11
+
+PAPER_SIZES_SMALL = (10, 20, 30, 40, 50, 60)
+PAPER_SIZES_LARGE = (1000, 2000, 3000, 4000, 5000, 6000)
+PAPER_INSTANCES = 500
+PAPER_CUTOFF = 600.0
+
+
+def run_fig7_paper():
+    return fig7.run_fig7(
+        switch_counts=PAPER_SIZES_SMALL,
+        instances_per_size=PAPER_INSTANCES,
+        opt_budget=2.0,
+    )
+
+
+def run_fig8_paper():
+    return fig8.run_fig8(
+        switch_counts=PAPER_SIZES_SMALL,
+        instances_per_size=PAPER_INSTANCES,
+    )
+
+
+def run_fig9_paper():
+    return fig9.run_fig9(
+        switch_counts=(100, 200, 300, 400, 500, 600),
+        instances_per_size=PAPER_INSTANCES,
+    )
+
+
+def run_fig10_paper():
+    return fig10.run_fig10(
+        switch_counts=PAPER_SIZES_LARGE,
+        cutoff=PAPER_CUTOFF,
+        runs_per_size=3,
+    )
+
+
+def run_fig11_paper():
+    return fig11.run_fig11(
+        switch_count=400,
+        instances=PAPER_INSTANCES,
+        opt_budget=10.0,
+    )
+
+
+RUNNERS = {
+    "fig7": run_fig7_paper,
+    "fig8": run_fig8_paper,
+    "fig9": run_fig9_paper,
+    "fig10": run_fig10_paper,
+    "fig11": run_fig11_paper,
+}
+
+
+def main(argv=None) -> int:
+    wanted = (argv or sys.argv[1:]) or list(RUNNERS)
+    for name in wanted:
+        runner = RUNNERS.get(name)
+        if runner is None:
+            print(f"unknown experiment {name!r}; choose from {sorted(RUNNERS)}")
+            return 2
+        print("=" * 72)
+        print(f"{name} at paper scale (this can take a long time)")
+        print("=" * 72)
+        started = time.monotonic()
+        result = runner()
+        print(result.render())
+        print(f"[{name} finished in {time.monotonic() - started:.0f} s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

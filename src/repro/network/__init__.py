@@ -1,0 +1,24 @@
+"""Network substrate: directed graphs, paths, flows and topology generators.
+
+This package provides the static network model that every Chronus algorithm
+operates on: a directed graph whose links carry a *capacity* (how much flow
+they can hold at one instant) and an integer *transmission delay* (how many
+time steps a unit of flow needs to traverse the link).  It deliberately does
+not know anything about updates or schedules -- that lives in
+:mod:`repro.core`.
+"""
+
+from repro.network.graph import Link, Network
+from repro.network.paths import Path, path_delay, path_links
+from repro.network.flows import Flow
+from repro.network import topology
+
+__all__ = [
+    "Link",
+    "Network",
+    "Path",
+    "path_delay",
+    "path_links",
+    "Flow",
+    "topology",
+]

@@ -1,0 +1,204 @@
+"""Directed network graph with per-link capacity and transmission delay.
+
+The model follows Section II-B of the paper: a network is a directed graph
+``G = (V, E)`` where every link ``(u, v)`` has a capacity ``C_{u,v}`` and an
+integer transmission delay ``sigma_{u,v}`` (one unit of flow leaving ``u`` at
+time ``t`` arrives at ``v`` at time ``t + sigma_{u,v}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+Node = str
+
+DEFAULT_CAPACITY = 1.0
+DEFAULT_DELAY = 1
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link ``src -> dst`` with capacity and integer delay.
+
+    Attributes:
+        src: Tail switch of the link.
+        dst: Head switch of the link.
+        capacity: Maximum amount of flow the link can carry at any single
+            moment in time (``C_{u,v}`` in the paper).
+        delay: Transmission delay in discrete time steps
+            (``sigma_{u,v}`` in the paper); must be a positive integer.
+    """
+
+    src: Node
+    dst: Node
+    capacity: float = DEFAULT_CAPACITY
+    delay: int = DEFAULT_DELAY
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"self-loop link {self.src!r} -> {self.dst!r}")
+        if self.capacity <= 0:
+            raise ValueError(f"link capacity must be positive, got {self.capacity}")
+        if not isinstance(self.delay, int) or self.delay < 1:
+            raise ValueError(f"link delay must be a positive integer, got {self.delay}")
+
+    @property
+    def endpoints(self) -> Tuple[Node, Node]:
+        """The ``(src, dst)`` pair identifying this link."""
+        return (self.src, self.dst)
+
+
+class Network:
+    """A directed graph of switches and links.
+
+    Switches are identified by strings.  At most one link may exist per
+    ordered switch pair; parallel links are rejected, while anti-parallel
+    links (``u -> v`` and ``v -> u``) are allowed and independent.
+
+    Example:
+        >>> net = Network()
+        >>> net.add_link("v1", "v2", capacity=1.0, delay=1)
+        Link(src='v1', dst='v2', capacity=1.0, delay=1)
+        >>> net.has_link("v1", "v2")
+        True
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[Node, None] = {}
+        self._links: Dict[Tuple[Node, Node], Link] = {}
+        self._out: Dict[Node, List[Node]] = {}
+        self._in: Dict[Node, List[Node]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_switch(self, node: Node) -> None:
+        """Register a switch; idempotent."""
+        if node not in self._nodes:
+            self._nodes[node] = None
+            self._out[node] = []
+            self._in[node] = []
+
+    def add_link(
+        self,
+        src: Node,
+        dst: Node,
+        capacity: float = DEFAULT_CAPACITY,
+        delay: int = DEFAULT_DELAY,
+    ) -> Link:
+        """Add a directed link; endpoints are registered automatically.
+
+        Raises:
+            ValueError: if the link already exists.
+        """
+        key = (src, dst)
+        if key in self._links:
+            raise ValueError(f"duplicate link {src!r} -> {dst!r}")
+        link = Link(src, dst, capacity=capacity, delay=delay)
+        self.add_switch(src)
+        self.add_switch(dst)
+        self._links[key] = link
+        self._out[src].append(dst)
+        self._in[dst].append(src)
+        return link
+
+    def ensure_link(
+        self,
+        src: Node,
+        dst: Node,
+        capacity: float = DEFAULT_CAPACITY,
+        delay: int = DEFAULT_DELAY,
+    ) -> Link:
+        """Return the existing link ``src -> dst`` or create it."""
+        existing = self._links.get((src, dst))
+        if existing is not None:
+            return existing
+        return self.add_link(src, dst, capacity=capacity, delay=delay)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def switches(self) -> List[Node]:
+        """All switches, in insertion order."""
+        return list(self._nodes)
+
+    @property
+    def links(self) -> List[Link]:
+        """All links, in insertion order."""
+        return list(self._links.values())
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def has_link(self, src: Node, dst: Node) -> bool:
+        """Whether the directed link ``src -> dst`` exists."""
+        return (src, dst) in self._links
+
+    def link(self, src: Node, dst: Node) -> Link:
+        """The link ``src -> dst``.
+
+        Raises:
+            KeyError: if the link does not exist.
+        """
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no link {src!r} -> {dst!r}") from None
+
+    def get_link(self, src: Node, dst: Node) -> Optional[Link]:
+        """The link ``src -> dst`` or ``None``."""
+        return self._links.get((src, dst))
+
+    def capacity(self, src: Node, dst: Node) -> float:
+        """Capacity ``C_{src,dst}``; raises ``KeyError`` if absent."""
+        return self.link(src, dst).capacity
+
+    def delay(self, src: Node, dst: Node) -> int:
+        """Delay ``sigma_{src,dst}``; raises ``KeyError`` if absent."""
+        return self.link(src, dst).delay
+
+    def successors(self, node: Node) -> List[Node]:
+        """Heads of out-links of ``node``."""
+        return list(self._out.get(node, ()))
+
+    def predecessors(self, node: Node) -> List[Node]:
+        """Tails of in-links of ``node``."""
+        return list(self._in.get(node, ()))
+
+    def out_links(self, node: Node) -> Iterator[Link]:
+        """Iterate over the out-links of ``node``."""
+        for dst in self._out.get(node, ()):
+            yield self._links[(node, dst)]
+
+    def in_links(self, node: Node) -> Iterator[Link]:
+        """Iterate over the in-links of ``node``."""
+        for src in self._in.get(node, ()):
+            yield self._links[(src, node)]
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def copy(self) -> "Network":
+        """A structural copy sharing no mutable state."""
+        clone = Network()
+        for node in self._nodes:
+            clone.add_switch(node)
+        for link in self._links.values():
+            clone.add_link(link.src, link.dst, capacity=link.capacity, delay=link.delay)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Network(switches={len(self._nodes)}, links={len(self._links)})"
+
+
+def network_from_links(links: Iterable[Tuple[Node, Node]], capacity: float = DEFAULT_CAPACITY, delay: int = DEFAULT_DELAY) -> Network:
+    """Build a :class:`Network` from ``(src, dst)`` pairs with uniform attributes."""
+    net = Network()
+    for src, dst in links:
+        net.add_link(src, dst, capacity=capacity, delay=delay)
+    return net

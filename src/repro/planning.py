@@ -1,0 +1,181 @@
+"""Reactive planning helpers built on the Chronus scheduler.
+
+The introduction motivates timed consistent updates with four operational
+scenarios; this module packages the most latency-critical one -- reaction to
+link failures -- as a one-call planner: given a failed link, compute a
+backup path, decide whether a congestion- and loop-free transition exists
+(Algorithm 1), and produce the timed schedule (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.greedy import GreedyResult, greedy_schedule
+from repro.core.instance import UpdateInstance, instance_from_paths
+from repro.core.tree import FeasibilityResult, check_update_feasibility
+from repro.network.graph import Network, Node
+
+
+@dataclass
+class FailoverPlan:
+    """Everything needed to react to one link failure.
+
+    Attributes:
+        instance: The update instance (old path -> backup path).
+        feasibility: Algorithm 1's verdict on a consistent transition.
+        result: The Chronus schedule (best-effort when infeasible).
+    """
+
+    instance: UpdateInstance
+    feasibility: FeasibilityResult
+    result: GreedyResult
+
+    @property
+    def consistent(self) -> bool:
+        """Whether the planned transition is congestion- and loop-free."""
+        return self.result.feasible
+
+    @property
+    def backup_path(self) -> Tuple[Node, ...]:
+        return self.instance.new_path
+
+
+def shortest_delay_path(
+    network: Network,
+    source: Node,
+    destination: Node,
+    forbidden_links: Sequence[Tuple[Node, Node]] = (),
+    forbidden_nodes: Sequence[Node] = (),
+) -> Optional[List[Node]]:
+    """Dijkstra over link delays, avoiding the given links/switches."""
+    banned_links = set(forbidden_links)
+    banned_nodes = set(forbidden_nodes) - {source, destination}
+    distances: Dict[Node, int] = {source: 0}
+    previous: Dict[Node, Node] = {}
+    heap: List[Tuple[int, Node]] = [(0, source)]
+    visited = set()
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == destination:
+            path = [node]
+            while node in previous:
+                node = previous[node]
+                path.append(node)
+            return list(reversed(path))
+        for link in network.out_links(node):
+            if (link.src, link.dst) in banned_links or link.dst in banned_nodes:
+                continue
+            candidate = dist + link.delay
+            if candidate < distances.get(link.dst, float("inf")):
+                distances[link.dst] = candidate
+                previous[link.dst] = node
+                heapq.heappush(heap, (candidate, link.dst))
+    return None
+
+
+def random_reroute_instance(
+    network: Network,
+    source: Node,
+    destination: Node,
+    rng: Optional[random.Random] = None,
+    demand: float = 1.0,
+    flow_name: str = "f",
+) -> Optional[UpdateInstance]:
+    """An update instance on an *arbitrary* graph (not just chain workloads).
+
+    The old route is the delay-shortest path; the new route avoids one
+    randomly chosen transit switch of it (a maintenance-style reroute).
+    This is how operators produce instances on real fabrics (fat trees,
+    Waxman WANs) -- the chain-based generators in
+    :mod:`repro.network.topology` model the paper's simulation workload.
+
+    Returns:
+        The instance, or ``None`` when no alternative route exists or the
+        shortest path has no transit switch to avoid.
+    """
+    if rng is None:
+        rng = random.Random()
+    old_path = shortest_delay_path(network, source, destination)
+    if old_path is None or len(old_path) < 3:
+        return None
+    victim = rng.choice(old_path[1:-1])
+    new_path = shortest_delay_path(
+        network, source, destination, forbidden_nodes=[victim]
+    )
+    if new_path is None or list(new_path) == list(old_path):
+        return None
+    return instance_from_paths(
+        network, old_path, new_path, demand=demand, flow_name=flow_name
+    )
+
+
+def plan_link_failover(
+    network: Network,
+    current_path: Sequence[Node],
+    failed_link: Tuple[Node, Node],
+    demand: float = 1.0,
+    flow_name: str = "f",
+) -> Optional[FailoverPlan]:
+    """React to a link failure with a consistent timed reroute.
+
+    The backup route keeps the longest prefix of the current path before the
+    failure and continues over the delay-shortest detour that avoids the
+    failed link; the transition is then checked (Algorithm 1) and scheduled
+    (Algorithm 2).
+
+    Args:
+        network: The topology (the failed link is avoided, not removed).
+        current_path: The flow's current route.
+        failed_link: The ``(src, dst)`` link reported down; must lie on
+            ``current_path``.
+        demand: Flow rate.
+        flow_name: Identifier for flow-table rules.
+
+    Returns:
+        A :class:`FailoverPlan`, or ``None`` when no backup route exists.
+
+    Raises:
+        ValueError: if the failed link is not on the current path.
+    """
+    path = list(current_path)
+    links = list(zip(path, path[1:]))
+    if failed_link not in links:
+        raise ValueError(f"link {failed_link} is not on the current path")
+
+    branch_index = links.index(failed_link)
+    source, destination = path[0], path[-1]
+
+    # Prefer detours that rejoin cleanly: branch at the failure point and
+    # avoid re-entering the already-travelled prefix.
+    prefix = path[: branch_index + 1]
+    detour = shortest_delay_path(
+        network,
+        prefix[-1],
+        destination,
+        forbidden_links=[failed_link],
+        forbidden_nodes=prefix[:-1],
+    )
+    if detour is None:
+        # Fall back to a fully fresh route from the source.
+        fresh = shortest_delay_path(
+            network, source, destination, forbidden_links=[failed_link]
+        )
+        if fresh is None:
+            return None
+        backup = fresh
+    else:
+        backup = prefix[:-1] + detour
+
+    instance = instance_from_paths(
+        network, path, backup, demand=demand, flow_name=flow_name
+    )
+    feasibility = check_update_feasibility(instance)
+    result = greedy_schedule(instance)
+    return FailoverPlan(instance=instance, feasibility=feasibility, result=result)

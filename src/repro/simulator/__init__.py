@@ -1,0 +1,30 @@
+"""Discrete-event fluid-flow data plane (the Mininet/Open vSwitch analogue).
+
+The paper's prototype measures link bandwidth consumption on Mininet while
+update protocols run.  This package reproduces that substrate: switches with
+OpenFlow-style match-action flow tables, links with capacity and propagation
+delay, constant-rate traffic sources, and a byte-counter monitor sampled
+like the Floodlight statistics module.  Traffic is modelled as fluid rates
+whose changes propagate along links with their delays -- exactly the
+quantity (Mbps over time) that Fig. 6 plots.
+"""
+
+from repro.simulator.engine import Simulator
+from repro.simulator.flowtable import FlowRule, FlowTable, Match, PacketContext
+from repro.simulator.link import DataLink
+from repro.simulator.switch import DataSwitch
+from repro.simulator.dataplane import DataPlane, build_dataplane
+from repro.simulator.monitor import BandwidthMonitor
+
+__all__ = [
+    "Simulator",
+    "FlowRule",
+    "FlowTable",
+    "Match",
+    "PacketContext",
+    "DataLink",
+    "DataSwitch",
+    "DataPlane",
+    "build_dataplane",
+    "BandwidthMonitor",
+]

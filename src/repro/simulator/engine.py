@@ -1,0 +1,77 @@
+"""The discrete-event simulation engine."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simulator.events import Callback, EventQueue
+
+
+class Simulator:
+    """A minimal deterministic discrete-event simulator.
+
+    Components schedule callbacks at absolute times or after delays; the
+    engine fires them in time order.  Time is in seconds (float).
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule_at(1.5, lambda: fired.append(sim.now))
+        >>> sim.run(until=2.0)
+        >>> fired
+        [1.5]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue = EventQueue()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule_at(self, time: float, callback: Callback):
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self._now - 1e-12:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        return self._queue.push(max(time, self._now), callback)
+
+    def schedule_after(self, delay: float, callback: Callback):
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self._queue.push(self._now + delay, callback)
+
+    def cancel(self, handle) -> None:
+        """Cancel a previously scheduled event."""
+        self._queue.cancel(handle)
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
+        """Process events until the queue drains or ``until`` is reached.
+
+        Args:
+            until: Stop once the next event lies beyond this time (the clock
+                is advanced to ``until``).
+            max_events: Safety valve against runaway event storms.
+
+        Returns:
+            Number of events processed.
+        """
+        processed = 0
+        while processed < max_events:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            event = self._queue.pop()
+            assert event is not None
+            self._now = event.time
+            event.callback()
+            processed += 1
+        else:
+            raise RuntimeError(f"simulation exceeded {max_events} events")
+        if until is not None and until > self._now:
+            self._now = until
+        return processed

@@ -1,0 +1,60 @@
+"""Event queue for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+Callback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """A cancellable min-heap of timed callbacks.
+
+    Events at equal times fire in scheduling order (FIFO), which keeps the
+    simulation deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[_Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: Callback) -> _Event:
+        """Schedule ``callback`` at ``time``; returns a cancellable handle."""
+        event = _Event(time=time, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: _Event) -> None:
+        """Mark an event as cancelled (lazily discarded on pop)."""
+        event.cancelled = True
+
+    def pop(self) -> Optional[_Event]:
+        """Remove and return the earliest live event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,107 @@
+"""Data-plane switches: flow-table forwarding of fluid streams.
+
+A switch keeps the set of currently arriving streams per input port.  On
+every arrival-rate change or flow-table change it re-evaluates all streams
+against the table and pushes the aggregated per-output rates onto its
+links.  Table misses black-hole traffic (counted); rules outputting on the
+host port deliver traffic (counted too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.simulator.engine import Simulator
+from repro.simulator.flowtable import FlowRule, FlowTable, PacketContext
+from repro.simulator.link import DataLink, StreamKey
+
+HOST_PORT = 0
+
+_EPS = 1e-12
+
+InKey = Tuple[int, str, str, Optional[int]]  # (in_port, src, dst, tag)
+
+
+class DataSwitch:
+    """One switch of the emulated data plane."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self._sim = sim
+        self.name = name
+        self.table = FlowTable()
+        self._out_links: Dict[int, DataLink] = {}
+        self._in_rates: Dict[InKey, Tuple[PacketContext, float]] = {}
+        self.delivered = 0.0  # Mbps currently leaving through the host port
+        self.blackholed = 0.0  # Mbps currently dropped by table misses
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_link(self, port: int, link: DataLink) -> None:
+        """Connect an output ``port`` to a link."""
+        if port == HOST_PORT:
+            raise ValueError("port 0 is reserved for the host")
+        if port in self._out_links:
+            raise ValueError(f"port {port} already attached on {self.name}")
+        self._out_links[port] = link
+
+    @property
+    def ports(self) -> List[int]:
+        return sorted(self._out_links)
+
+    # ------------------------------------------------------------------
+    # traffic
+    # ------------------------------------------------------------------
+    def receive(self, context: PacketContext, rate: float) -> None:
+        """A stream's arrival rate changed (link delivery or host inject)."""
+        key: InKey = (context.in_port, context.src_prefix, context.dst_prefix, context.tag)
+        if rate < _EPS:
+            self._in_rates.pop(key, None)
+        else:
+            self._in_rates[key] = (context, rate)
+        self.reevaluate()
+
+    def inject(self, context: PacketContext, rate: float) -> None:
+        """Host-side traffic source (must use the host port)."""
+        if context.in_port != HOST_PORT:
+            raise ValueError("host traffic enters on port 0")
+        self.receive(context, rate)
+
+    def on_table_changed(self) -> None:
+        """Re-forward everything after a FlowMod took effect."""
+        self.reevaluate()
+
+    def reevaluate(self) -> None:
+        """Recompute all output rates from the current inputs and table."""
+        per_port: Dict[int, Dict[StreamKey, Tuple[PacketContext, float]]] = {
+            port: {} for port in self._out_links
+        }
+        delivered = 0.0
+        blackholed = 0.0
+        for context, rate in self._in_rates.values():
+            rule = self.table.lookup(context)
+            if rule is None or rule.out_port is None:
+                blackholed += rate
+                continue
+            out_tag = rule.set_tag if rule.set_tag is not None else context.tag
+            out_context = context.with_tag(out_tag)
+            if rule.out_port == HOST_PORT:
+                delivered += rate
+                continue
+            if rule.out_port not in self._out_links:
+                blackholed += rate
+                continue
+            bucket = per_port[rule.out_port]
+            key = (out_context.src_prefix, out_context.dst_prefix, out_context.tag)
+            if key in bucket:
+                bucket[key] = (bucket[key][0], bucket[key][1] + rate)
+            else:
+                bucket[key] = (out_context, rate)
+        self.delivered = delivered
+        self.blackholed = blackholed
+        for port, streams in per_port.items():
+            link = self._out_links[port]
+            for context, rate in streams.values():
+                link.set_stream_rate(context, rate)
+            link.clear_absent_streams(set(streams))

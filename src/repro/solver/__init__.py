@@ -1,0 +1,19 @@
+"""Optimisation substrate: a small ILP model plus branch-and-bound solver.
+
+The paper solves the MUTP integer program (3) "using the branch and bound
+method".  No external MILP solver is available offline, so this package
+implements the pieces from scratch: :mod:`repro.solver.ilp` holds a compact
+model representation, and :mod:`repro.solver.branch_and_bound` solves it
+exactly by branching on fractional variables of scipy LP relaxations.
+"""
+
+from repro.solver.ilp import Constraint, ILPModel, Variable
+from repro.solver.branch_and_bound import BranchAndBoundResult, solve_ilp
+
+__all__ = [
+    "Constraint",
+    "ILPModel",
+    "Variable",
+    "BranchAndBoundResult",
+    "solve_ilp",
+]

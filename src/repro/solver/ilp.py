@@ -1,0 +1,159 @@
+"""A compact integer linear program representation.
+
+Kept deliberately small: named variables with bounds and integrality, linear
+constraints with ``<=``/``>=``/``==`` senses, and a minimisation objective.
+:func:`ILPModel.to_standard_form` lowers the model onto the matrix form that
+``scipy.optimize.linprog`` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+LEQ = "<="
+GEQ = ">="
+EQ = "=="
+_SENSES = (LEQ, GEQ, EQ)
+
+
+@dataclass(frozen=True)
+class Variable:
+    """One decision variable.
+
+    Attributes:
+        name: Unique identifier.
+        lower: Lower bound (default 0).
+        upper: Upper bound (``None`` = unbounded above).
+        integer: Whether branch-and-bound must drive it integral.
+    """
+
+    name: str
+    lower: float = 0.0
+    upper: Optional[float] = None
+    integer: bool = False
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``sum(coeffs[v] * v) sense rhs``."""
+
+    coeffs: Mapping[str, float]
+    sense: str
+    rhs: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sense not in _SENSES:
+            raise ValueError(f"unknown constraint sense {self.sense!r}")
+
+
+@dataclass
+class ILPModel:
+    """A minimisation ILP assembled incrementally."""
+
+    variables: Dict[str, Variable] = field(default_factory=dict)
+    constraints: List[Constraint] = field(default_factory=list)
+    objective: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_variable(
+        self,
+        name: str,
+        lower: float = 0.0,
+        upper: Optional[float] = None,
+        integer: bool = False,
+    ) -> Variable:
+        """Register a variable; names must be unique."""
+        if name in self.variables:
+            raise ValueError(f"duplicate variable {name!r}")
+        var = Variable(name=name, lower=lower, upper=upper, integer=integer)
+        self.variables[name] = var
+        return var
+
+    def add_binary(self, name: str) -> Variable:
+        """A 0/1 integer variable."""
+        return self.add_variable(name, lower=0.0, upper=1.0, integer=True)
+
+    def add_constraint(
+        self, coeffs: Mapping[str, float], sense: str, rhs: float, name: str = ""
+    ) -> Constraint:
+        """Add a linear constraint over registered variables."""
+        for var in coeffs:
+            if var not in self.variables:
+                raise KeyError(f"constraint references unknown variable {var!r}")
+        constraint = Constraint(coeffs=dict(coeffs), sense=sense, rhs=rhs, name=name)
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, coeffs: Mapping[str, float]) -> None:
+        """Minimise ``sum(coeffs[v] * v)``."""
+        for var in coeffs:
+            if var not in self.variables:
+                raise KeyError(f"objective references unknown variable {var!r}")
+        self.objective = dict(coeffs)
+
+    # ------------------------------------------------------------------
+    # lowering
+    # ------------------------------------------------------------------
+    def to_standard_form(
+        self,
+        extra_bounds: Optional[Mapping[str, Tuple[float, Optional[float]]]] = None,
+    ) -> Tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray], List[Tuple[float, Optional[float]]], List[str]]:
+        """Lower to ``(c, A_ub, b_ub, A_eq, b_eq, bounds, order)`` for scipy.
+
+        Args:
+            extra_bounds: Per-variable bound overrides used by the
+                branch-and-bound search (tightened on branching).
+        """
+        order = list(self.variables)
+        index = {name: i for i, name in enumerate(order)}
+        n = len(order)
+
+        c = np.zeros(n)
+        for name, coeff in self.objective.items():
+            c[index[name]] = coeff
+
+        ub_rows: List[np.ndarray] = []
+        ub_rhs: List[float] = []
+        eq_rows: List[np.ndarray] = []
+        eq_rhs: List[float] = []
+        for constraint in self.constraints:
+            row = np.zeros(n)
+            for name, coeff in constraint.coeffs.items():
+                row[index[name]] = coeff
+            if constraint.sense == LEQ:
+                ub_rows.append(row)
+                ub_rhs.append(constraint.rhs)
+            elif constraint.sense == GEQ:
+                ub_rows.append(-row)
+                ub_rhs.append(-constraint.rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(constraint.rhs)
+
+        bounds: List[Tuple[float, Optional[float]]] = []
+        for name in order:
+            var = self.variables[name]
+            lower, upper = var.lower, var.upper
+            if extra_bounds and name in extra_bounds:
+                extra_lower, extra_upper = extra_bounds[name]
+                lower = max(lower, extra_lower)
+                if extra_upper is not None:
+                    upper = extra_upper if upper is None else min(upper, extra_upper)
+            bounds.append((lower, upper))
+
+        a_ub = np.vstack(ub_rows) if ub_rows else None
+        b_ub = np.asarray(ub_rhs) if ub_rhs else None
+        a_eq = np.vstack(eq_rows) if eq_rows else None
+        b_eq = np.asarray(eq_rhs) if eq_rhs else None
+        return c, a_ub, b_ub, a_eq, b_eq, bounds, order
+
+    @property
+    def integer_variables(self) -> List[str]:
+        """Names of variables that must be integral."""
+        return [name for name, var in self.variables.items() if var.integer]

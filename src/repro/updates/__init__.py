@@ -1,0 +1,36 @@
+"""Network update protocols: Chronus and the paper's baselines.
+
+Every protocol consumes an :class:`repro.core.instance.UpdateInstance` and
+produces an :class:`repro.updates.base.UpdatePlan`: update times (or rounds)
+plus rule-operation accounting.  The benchmark schemes follow Section V:
+
+* ``chronus`` -- the timed greedy scheduler (Algorithm 2);
+* ``tp`` -- two-phase versioned updates (Reitblatt et al.);
+* ``or`` -- order replacement updates minimising controller rounds while
+  avoiding forwarding loops (Ludwig et al.), solved greedily or exactly by
+  branch and bound;
+* ``opt`` -- the optimal MUTP solution.
+"""
+
+from repro.updates.base import RuleAccounting, UpdatePlan, UpdateProtocol
+from repro.updates.chronus import ChronusProtocol
+from repro.updates.two_phase import TwoPhaseProtocol, two_phase_congestion_spans
+from repro.updates.order_replacement import (
+    OrderReplacementProtocol,
+    minimize_rounds,
+    realize_round_times,
+)
+from repro.updates.optimal import OptimalProtocol
+
+__all__ = [
+    "RuleAccounting",
+    "UpdatePlan",
+    "UpdateProtocol",
+    "ChronusProtocol",
+    "TwoPhaseProtocol",
+    "two_phase_congestion_spans",
+    "OrderReplacementProtocol",
+    "minimize_rounds",
+    "realize_round_times",
+    "OptimalProtocol",
+]

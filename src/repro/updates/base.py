@@ -1,0 +1,110 @@
+"""Common protocol interface and rule accounting.
+
+Fig. 9 of the paper compares "the number of rules" of Chronus against
+two-phase updates: what is counted are the *rule operations* the controller
+issues during the transition (installs, modifies, deletes) -- Chronus only
+modifies the action of existing rules, while two-phase updates install a
+complete second (version-tagged) rule set and later remove the old one.
+:class:`RuleAccounting` captures both that operation count and the peak
+number of rules resident in flow tables (the "flow table space headroom"
+argument of the introduction).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.instance import UpdateInstance
+from repro.core.schedule import UpdateSchedule
+from repro.network.graph import Node
+
+
+@dataclass(frozen=True)
+class RuleAccounting:
+    """Rule footprint of one update plan.
+
+    Attributes:
+        installs: New rules written during the transition.
+        modifies: Existing rules whose action is rewritten in place.
+        deletes: Rules removed after the transition.
+        baseline_rules: Rules present before the update begins.
+        peak_rules: Maximum rules resident in flow tables at any moment.
+    """
+
+    installs: int
+    modifies: int
+    deletes: int
+    baseline_rules: int
+    peak_rules: int
+
+    @property
+    def operations(self) -> int:
+        """Total rule operations -- the quantity plotted in Fig. 9."""
+        return self.installs + self.modifies + self.deletes
+
+    @property
+    def headroom(self) -> int:
+        """Extra table space needed beyond the steady state."""
+        return max(0, self.peak_rules - self.baseline_rules)
+
+
+@dataclass
+class UpdatePlan:
+    """A protocol's complete answer for one update instance.
+
+    Attributes:
+        protocol: Short protocol name (``chronus``/``tp``/``or``/``opt``).
+        schedule: Planned switch update times.  For round-based protocols
+            this is the *nominal* schedule (one time step per round); the
+            realised asynchronous times come from
+            :func:`repro.updates.order_replacement.realize_round_times`.
+        rounds: Controller interaction rounds (time, switches).
+        rules: Rule-operation accounting.
+        feasible: Whether the protocol claims transient consistency.
+        notes: Free-form diagnostic remarks.
+    """
+
+    protocol: str
+    schedule: UpdateSchedule
+    rounds: List[Tuple[int, Tuple[Node, ...]]]
+    rules: RuleAccounting
+    feasible: bool = True
+    notes: str = ""
+
+    @property
+    def round_count(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def makespan(self) -> int:
+        return self.schedule.makespan
+
+
+class UpdateProtocol(abc.ABC):
+    """Interface shared by all update protocols."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def plan(self, instance: UpdateInstance, t0: int = 0) -> UpdatePlan:
+        """Compute the update plan for ``instance`` starting at ``t0``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def count_baseline_rules(instance: UpdateInstance) -> int:
+    """Rules present before the update: one per old-config switch."""
+    return len(instance.old_config)
+
+
+def union_rule_switches(instance: UpdateInstance) -> Sequence[Node]:
+    """Switches holding a rule in either configuration."""
+    seen: Dict[Node, None] = {}
+    for node in instance.old_config:
+        seen.setdefault(node)
+    for node in instance.new_config:
+        seen.setdefault(node)
+    return list(seen)

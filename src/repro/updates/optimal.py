@@ -1,0 +1,70 @@
+"""OPT as a protocol: the exact MUTP solution wrapped in the plan interface."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.instance import UpdateInstance
+from repro.core.optimal import optimal_schedule
+from repro.core.rounds import greedy_loop_free_rounds
+from repro.core.schedule import UpdateSchedule, schedule_from_rounds
+from repro.updates.base import (
+    RuleAccounting,
+    UpdatePlan,
+    UpdateProtocol,
+    count_baseline_rules,
+)
+
+
+class OptimalProtocol(UpdateProtocol):
+    """OPT: branch-and-bound optimum of the MUTP program.
+
+    Args:
+        time_budget: Wall-clock budget per instance in seconds; on exhaustion
+            the best incumbent (or a best-effort loop-free completion) is
+            returned, mirroring the paper's Fig. 10 cutoffs.
+    """
+
+    name = "opt"
+
+    def __init__(self, time_budget: Optional[float] = None) -> None:
+        self.time_budget = time_budget
+
+    def plan(self, instance: UpdateInstance, t0: int = 0) -> UpdatePlan:
+        result = optimal_schedule(instance, t0=t0, time_budget=self.time_budget)
+        if result.schedule is not None:
+            schedule = result.schedule
+            feasible = True
+            notes = "" if result.proven else "optimality not proven (budget)"
+        else:
+            # Infeasible (or budget exhausted without incumbent): fall back
+            # to loop-free rounds so the update still completes.
+            rounds = greedy_loop_free_rounds(instance)
+            schedule = schedule_from_rounds(rounds, start_time=t0, feasible=False)
+            feasible = False
+            notes = (
+                "no congestion-free schedule exists"
+                if result.proven
+                else "search budget exhausted without a feasible schedule"
+            )
+
+        baseline = count_baseline_rules(instance)
+        installs = sum(
+            1 for node in instance.switches_to_update if instance.old_next_hop(node) is None
+        )
+        modifies = len(instance.switches_to_update) - installs
+        rules = RuleAccounting(
+            installs=installs,
+            modifies=modifies,
+            deletes=0,
+            baseline_rules=baseline,
+            peak_rules=baseline + installs,
+        )
+        return UpdatePlan(
+            protocol=self.name,
+            schedule=schedule,
+            rounds=schedule.rounds(),
+            rules=rules,
+            feasible=feasible,
+            notes=notes,
+        )

@@ -1,0 +1,72 @@
+"""Unit tests for metrics, statistics and rendering helpers."""
+
+import pytest
+
+from repro.analysis.metrics import congested_timed_links, evaluate_schedule
+from repro.analysis.stats import BoxStats, box_stats, cdf_points, mean, percentile
+from repro.analysis.timeseries import render_series, render_table
+from repro.core.schedule import UpdateSchedule
+
+
+class TestMetrics:
+    def test_paper_schedule_is_consistent(self, fig1_instance, paper_schedule):
+        metrics = evaluate_schedule(fig1_instance, paper_schedule)
+        assert metrics.consistent
+        assert metrics.makespan == 4
+        assert metrics.congested_timed_links == 0
+
+    def test_bad_schedule_counts_violations(self, fig1_instance):
+        schedule = UpdateSchedule({"v1": 0, "v2": 0, "v3": 1, "v4": 1, "v5": 1})
+        metrics = evaluate_schedule(fig1_instance, schedule)
+        assert not metrics.consistent
+        assert metrics.congested_timed_links >= 1
+        assert congested_timed_links(fig1_instance, schedule) == metrics.congested_timed_links
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 50) == 5.0
+        assert percentile([1, 2, 3, 4], 0) == 1
+        assert percentile([1, 2, 3, 4], 100) == 4
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_cdf_points(self):
+        points = cdf_points([3, 1, 3, 2])
+        assert points == [(1, 0.25), (2, 0.5), (3, 1.0)]
+        assert cdf_points([]) == []
+
+    def test_box_stats(self):
+        stats = box_stats([1, 2, 3, 4, 100])
+        assert stats.minimum == 1
+        assert stats.median == 3
+        assert stats.maximum == 100
+        assert "med=3" in stats.row()
+
+    def test_box_stats_empty(self):
+        with pytest.raises(ValueError):
+            box_stats([])
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bbbb"], [[1, 2], [33, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "bbbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_series_merges_time_axes(self):
+        text = render_series(
+            {"x": [(0.0, 1.0), (1.0, 2.0)], "y": [(1.0, 5.0)]}
+        )
+        assert "-" in text  # missing sample placeholder
+        assert "5.00" in text

@@ -1,0 +1,27 @@
+"""The ``python -m repro.experiments`` entry point."""
+
+import subprocess
+import sys
+
+
+def run_cli(*args, timeout=240):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_walkthrough_via_cli():
+    completed = run_cli("walkthrough")
+    assert completed.returncode == 0, completed.stderr
+    assert "Fig. 5" in completed.stdout
+    assert "verdict: consistent" in completed.stdout
+
+
+def test_filter_selects_single_experiment():
+    completed = run_cli("table")
+    assert completed.returncode == 0, completed.stderr
+    assert "Table II" in completed.stdout
+    assert "Fig. 7" not in completed.stdout

@@ -1,0 +1,113 @@
+"""Pinning subtle semantics at module boundaries."""
+
+import random
+
+import pytest
+
+from repro.controller import ConstantDelayModel, ControlChannel, Controller
+from repro.controller.messages import FlowModModify, next_xid
+from repro.core.greedy import greedy_schedule
+from repro.core.instance import motivating_example
+from repro.core.schedule import UpdateSchedule
+from repro.simulator import Simulator, build_dataplane
+from repro.simulator.dataplane import install_config
+from repro.simulator.flowtable import PacketContext
+from repro.simulator.switch import HOST_PORT
+
+
+def build_world():
+    instance = motivating_example()
+    sim = Simulator()
+    plane = build_dataplane(sim, instance.network, delay_scale=1.0)
+    install_config(plane, instance)
+    channel = ControlChannel(
+        sim, ConstantDelayModel(0.001), ConstantDelayModel(0.01),
+        rng=random.Random(0),
+    )
+    controller = Controller(sim, channel)
+    for switch in plane.switches.values():
+        controller.manage(switch)
+    return instance, sim, plane, controller
+
+
+class TestBarrierWithScheduledFlowMods:
+    def test_barrier_waits_for_scheduled_execution_time(self):
+        """Per the OpenFlow spec reading in messages.py: a barrier reply
+        covers *scheduled* FlowMods too -- it arrives only after the mod
+        fired at its execution time."""
+        instance, sim, plane, controller = build_world()
+        xid = next_xid()
+        controller.send_flow_mod(
+            "v2",
+            FlowModModify(
+                xid=xid, rule_name="f",
+                out_port=plane.port_of("v2", "v6"),
+                execute_at=5.0,
+            ),
+        )
+        replies = []
+        controller.send_barrier("v2", lambda reply: replies.append(sim.now))
+        sim.run(until=10.0)
+        assert replies and replies[0] >= 5.0
+
+    def test_barrier_does_not_wait_for_later_messages(self):
+        instance, sim, plane, controller = build_world()
+        replies = []
+        controller.send_barrier("v2", lambda reply: replies.append(sim.now))
+        sim.run(until=0.5)
+        # A FlowMod sent *after* the barrier must not delay it.
+        controller.send_flow_mod(
+            "v2",
+            FlowModModify(
+                xid=next_xid(), rule_name="f",
+                out_port=plane.port_of("v2", "v6"), execute_at=9.0,
+            ),
+        )
+        sim.run(until=10.0)
+        assert replies and replies[0] < 1.0
+
+
+class TestLinkStreamClearing:
+    def test_rerouting_zeroes_the_abandoned_link(self):
+        instance, sim, plane, controller = build_world()
+        plane.inject_flow("v1", "h1", "v6", rate=1.0)
+        sim.run(until=8.0)
+        old_link = plane.link("v2", "v3")
+        assert old_link.utilization == pytest.approx(1.0)
+        switch = plane.switch("v2")
+        switch.table.modify("f", out_port=plane.port_of("v2", "v6"))
+        switch.on_table_changed()
+        sim.run(until=16.0)
+        assert old_link.utilization == 0.0
+        timeline = old_link.utilization_timeline()
+        assert timeline[0].rate == 0.0 and timeline[-1].rate == 0.0
+        assert any(sample.rate > 0 for sample in timeline)
+
+    def test_distinct_streams_tracked_separately(self):
+        instance, sim, plane, controller = build_world()
+        plane.inject_flow("v1", "h1", "v6", rate=0.4)
+        plane.switch("v1").inject(
+            PacketContext(in_port=HOST_PORT, src_prefix="h2", dst_prefix="v6"), 0.6
+        )
+        sim.run(until=8.0)
+        assert plane.link("v1", "v2").utilization == pytest.approx(1.0)
+        # Stopping one stream leaves the other untouched.
+        plane.switch("v1").inject(
+            PacketContext(in_port=HOST_PORT, src_prefix="h2", dst_prefix="v6"), 0.0
+        )
+        sim.run(until=16.0)
+        assert plane.link("v1", "v2").utilization == pytest.approx(0.4)
+
+
+class TestGreedyGuards:
+    def test_max_steps_forces_best_effort_completion(self):
+        instance = motivating_example()
+        result = greedy_schedule(instance, max_steps=1)
+        # One step cannot finish the example; the result must still cover
+        # every switch and be flagged truthfully.
+        assert len(result.schedule) == len(instance.switches_to_update)
+        assert not result.feasible
+
+    def test_start_time_enforced_in_schedule_validation(self):
+        with pytest.raises(ValueError):
+            UpdateSchedule({"a": 0}, start_time=1)

@@ -1,0 +1,111 @@
+"""Integration tests: every experiment module runs and shows the paper's shape.
+
+Tiny scales keep the suite fast; the assertions target the *direction* of
+each result (who wins), not absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments import fig6, fig7, fig8, fig9, fig10, fig11, table2
+from repro.experiments.sweep import (
+    local_reroute_share,
+    mixed_instance,
+    run_instance,
+)
+
+
+class TestTable2:
+    def test_tables_render(self):
+        result = table2.run_table2(switch_count=8, seed=2)
+        text = result.render()
+        assert "InPort" in text
+        assert "Output" in text
+        # The two-phase transition keeps both rule versions resident.
+        assert len(result.source_rows_two_phase) > len(result.source_rows)
+
+
+class TestFig6:
+    def test_or_congests_while_chronus_stays_within_capacity(self):
+        result = fig6.run_fig6(duration=25.0)
+        assert result.peaks["chronus"] <= result.capacity + 1e-6
+        assert result.peaks["or"] > result.capacity + 1e-6
+        assert "Fig. 6" in result.render()
+
+    def test_series_cover_all_schemes(self):
+        result = fig6.run_fig6(duration=12.0)
+        assert set(result.series) == {"chronus", "tp", "or"}
+        assert all(points for points in result.series.values())
+
+
+class TestSweep:
+    def test_mixed_workload_is_reproducible(self):
+        a = mixed_instance(20, seed=9)
+        b = mixed_instance(20, seed=9)
+        assert a.new_path == b.new_path
+
+    def test_local_share_decreases_with_size(self):
+        assert local_reroute_share(10) > local_reroute_share(60)
+        assert 0.0 < local_reroute_share(1000) <= 1.0
+
+    def test_run_instance_produces_all_schemes(self, fig1_instance):
+        outcomes = run_instance(fig1_instance, seed=1, opt_budget=5.0)
+        assert set(outcomes) == {"chronus", "or", "opt"}
+        assert outcomes["chronus"].congestion_free
+        assert outcomes["opt"].congestion_free
+
+
+class TestFig7:
+    def test_chronus_at_least_matches_or(self):
+        result = fig7.run_fig7(
+            switch_counts=(10, 30), instances_per_size=4, opt_budget=0.3
+        )
+        for index in range(2):
+            assert (
+                result.percentages["chronus"][index]
+                >= result.percentages["or"][index]
+            )
+        assert "Fig. 7" in result.render()
+
+
+class TestFig8:
+    def test_chronus_congests_fewer_timed_links(self):
+        result = fig8.run_fig8(switch_counts=(30,), instances_per_size=5)
+        assert result.congested["chronus"][0] <= result.congested["or"][0]
+        assert "Fig. 8" in result.render()
+
+
+class TestFig9:
+    def test_chronus_saves_over_half_the_rules(self):
+        result = fig9.run_fig9(switch_counts=(100, 300), instances_per_size=4)
+        for count in (100, 300):
+            assert result.chronus_boxes[count].mean < 0.5 * result.tp_means[count]
+        assert "Fig. 9" in result.render()
+
+    def test_matches_paper_magnitudes_at_300(self):
+        result = fig9.run_fig9(switch_counts=(300,), instances_per_size=6)
+        # Paper: ~190 (Chronus) vs ~596 (TP) rule operations.
+        assert 150 <= result.chronus_boxes[300].mean <= 230
+        assert 540 <= result.tp_means[300] <= 660
+
+
+class TestFig10:
+    def test_chronus_fast_exact_solvers_cut_off(self):
+        result = fig10.run_fig10(switch_counts=(60, 600), cutoff=1.0)
+        assert result.seconds["chronus"][0] is not None
+        assert result.seconds["chronus"][1] is not None
+        # At the larger size at least one exact solver hits the cutoff.
+        assert (
+            result.seconds["or"][1] is None or result.seconds["opt"][1] is None
+        )
+        assert "cutoff" in result.render()
+
+
+class TestFig11:
+    def test_chronus_near_optimal_update_time(self):
+        result = fig11.run_fig11(switch_count=40, instances=5, opt_budget=1.0)
+        assert len(result.chronus_times) == 5
+        for chronus, opt in zip(result.chronus_times, result.opt_times):
+            assert opt <= chronus
+        cdfs = result.cdfs()
+        assert cdfs["chronus"][-1][1] == pytest.approx(1.0)
+        assert "Fig. 11" in result.render()

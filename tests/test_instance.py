@@ -1,0 +1,106 @@
+"""Unit tests for update instances."""
+
+import pytest
+
+from repro.core.instance import (
+    config_from_path,
+    instance_from_paths,
+    motivating_example,
+    random_instance,
+    reversal_instance,
+    segmented_instance,
+)
+from repro.network.graph import Network, network_from_links
+
+
+class TestMotivatingExample:
+    def test_paths_match_fig1(self, fig1_instance):
+        assert fig1_instance.old_path == ("v1", "v2", "v3", "v4", "v5", "v6")
+        assert fig1_instance.new_path == ("v1", "v4", "v3", "v2", "v6")
+
+    def test_every_switch_but_destination_updates(self, fig1_instance):
+        assert set(fig1_instance.switches_to_update) == {"v1", "v2", "v3", "v4", "v5"}
+
+    def test_v5_gets_drain_rule(self, fig1_instance):
+        assert fig1_instance.new_next_hop("v5") == "v2"
+
+    def test_uniform_capacity_and_delay(self, fig1_instance):
+        for link in fig1_instance.network.links:
+            assert link.capacity == 1.0
+            assert link.delay == 1
+
+
+class TestDerivedStructure:
+    def test_old_predecessor(self, fig1_instance):
+        assert fig1_instance.old_predecessor("v3") == "v2"
+        assert fig1_instance.old_predecessor("v1") is None
+
+    def test_path_delays(self, fig1_instance):
+        assert fig1_instance.old_path_delay == 5
+        assert fig1_instance.new_path_delay == 4
+
+    def test_config_at_before_and_after_update(self, fig1_instance):
+        updated = {"v2": 5}
+        assert fig1_instance.config_at(updated, 4)["v2"] == "v3"
+        assert fig1_instance.config_at(updated, 5)["v2"] == "v6"
+
+    def test_old_path_offsets(self, fig1_instance):
+        offsets = fig1_instance.old_path_offsets
+        assert offsets["v1"] == 0
+        assert offsets["v5"] == 4
+
+
+class TestValidation:
+    def test_rejects_missing_link_in_config(self):
+        net = network_from_links([("a", "b"), ("b", "c")])
+        with pytest.raises(ValueError):
+            instance_from_paths(net, ["a", "b", "c"], ["a", "c"])
+
+    def test_rejects_mismatched_endpoints(self):
+        net = network_from_links([("a", "b"), ("b", "c"), ("a", "c")])
+        with pytest.raises(ValueError, match="source and destination"):
+            instance_from_paths(net, ["a", "b", "c"], ["b", "c"])
+
+    def test_rejects_extra_rule_clash(self):
+        net = network_from_links([("a", "b"), ("b", "c"), ("a", "c")])
+        with pytest.raises(ValueError, match="clashes"):
+            instance_from_paths(
+                net, ["a", "b", "c"], ["a", "c"], extra_new_rules={"a": "b"}
+            )
+
+    def test_rejects_looping_config(self):
+        net = network_from_links([("a", "b"), ("b", "a"), ("a", "c")])
+        from repro.core.instance import UpdateInstance
+        from repro.network.flows import Flow
+
+        with pytest.raises(ValueError, match="loop"):
+            UpdateInstance(
+                network=net,
+                flow=Flow("f", "a", "c"),
+                old_config={"a": "b", "b": "a"},
+                new_config={"a": "c"},
+            )
+
+
+class TestGenerators:
+    def test_random_instance_is_reproducible(self):
+        a = random_instance(8, seed=5)
+        b = random_instance(8, seed=5)
+        assert a.new_path == b.new_path
+
+    def test_reversal_instance_structure(self):
+        inst = reversal_instance(5)
+        assert inst.new_path == ("v1", "v4", "v3", "v2", "v5")
+
+    def test_segmented_instance_updates_are_local(self):
+        inst = segmented_instance(100, seed=1, segments=2, max_segment_length=5)
+        assert len(inst.switches_to_update) <= 2 * 6
+
+    def test_config_from_path(self):
+        assert config_from_path(["a", "b", "c"]) == {"a": "b", "b": "c"}
+
+    def test_switches_to_update_excludes_unchanged(self):
+        net = network_from_links([("a", "b"), ("b", "c"), ("b", "d"), ("d", "c")])
+        inst = instance_from_paths(net, ["a", "b", "c"], ["a", "b", "d", "c"])
+        # a keeps its next hop; b reroutes; d is installed.
+        assert set(inst.switches_to_update) == {"b", "d"}

@@ -1,0 +1,169 @@
+"""White-box tests for the interval tracker's splitting machinery."""
+
+import pytest
+
+from repro.core.instance import motivating_example
+from repro.core.intervals import (
+    BLACKHOLE,
+    DELIVERED,
+    LOOPED,
+    FlowClass,
+    IntervalTracker,
+    RoundReport,
+    _route_from,
+    _split_class,
+    _sweep_link,
+)
+
+
+@pytest.fixture
+def instance():
+    return motivating_example()
+
+
+def make_report():
+    return RoundReport(time=0, nodes=())
+
+
+class TestRouteFrom:
+    def test_reaches_destination(self, instance):
+        nodes, outcome, loop = _route_from(instance, instance.old_config, ["v1"])
+        assert nodes == ["v1", "v2", "v3", "v4", "v5", "v6"]
+        assert outcome == DELIVERED and loop is None
+
+    def test_detects_revisit_of_prefix(self, instance):
+        config = dict(instance.old_config)
+        config["v4"] = "v3"  # v4's new rule while v3 still points forward
+        nodes, outcome, loop = _route_from(instance, config, ["v1", "v2", "v3", "v4"])
+        assert outcome == LOOPED
+        assert loop == "v3"
+        assert nodes[-1] == "v3"  # truncated right after the revisit
+
+    def test_blackhole_on_missing_rule(self, instance):
+        config = {"v1": "v2"}  # nothing beyond v2
+        nodes, outcome, loop = _route_from(instance, config, ["v1"])
+        assert outcome == BLACKHOLE
+        assert nodes == ["v1", "v2"]
+
+
+class TestSplitClass:
+    def old_class(self, instance):
+        return FlowClass(
+            lo=None, hi=None,
+            nodes=instance.old_path,
+            offsets=tuple(range(len(instance.old_path))),
+        )
+
+    def test_unaffected_class_returns_none(self, instance):
+        cls = self.old_class(instance)
+        pieces = _split_class(
+            instance, cls, {"zz"}, 0, instance.old_config, make_report()
+        )
+        assert pieces is None
+
+    def test_split_partitions_emissions(self, instance):
+        cls = self.old_class(instance)
+        config = instance.config_at({"v2": 0}, 0)
+        pieces = _split_class(instance, cls, {"v2"}, 0, config, make_report())
+        assert pieces is not None
+        keep, deflected = pieces
+        # v2 sits at offset 1: emissions >= -1 deflect.
+        assert (keep.lo, keep.hi) == (None, -2)
+        assert (deflected.lo, deflected.hi) == (-1, None)
+        assert deflected.nodes == ("v1", "v2", "v6")
+        assert deflected.fresh_from == 1
+
+    def test_threshold_beyond_interval_is_ignored(self, instance):
+        cls = FlowClass(
+            lo=0, hi=0,
+            nodes=instance.old_path,
+            offsets=tuple(range(len(instance.old_path))),
+        )
+        # Updating v5 at time 100: emission 0 passes v5 at t=4 < 100.
+        config = instance.config_at({"v5": 100}, 100)
+        pieces = _split_class(instance, cls, {"v5"}, 100, config, make_report())
+        assert pieces is None
+
+    def test_looped_class_not_extended_past_kill_point(self, instance):
+        looped = FlowClass(
+            lo=0, hi=5,
+            nodes=("v1", "v2", "v3", "v4", "v3"),
+            offsets=(0, 1, 2, 3, 4),
+            outcome=LOOPED,
+            loop_node="v3",
+        )
+        # Updating v3 (the final, revisited position) must not resurrect
+        # the already-killed units...
+        config = instance.config_at({"v3": 0}, 0)
+        pieces = _split_class(instance, looped, {"v3"}, 0, config, make_report())
+        # ...but the first v3 occurrence (offset 2) still deflects them.
+        assert pieces is not None
+        for piece in pieces:
+            if piece.outcome == DELIVERED:
+                assert piece.nodes[:3] == ("v1", "v2", "v3")
+
+    def test_multiple_hits_partition_by_first_deflection(self, instance):
+        cls = self.old_class(instance)
+        config = instance.config_at({"v2": 0, "v4": 0}, 0)
+        report = make_report()
+        pieces = _split_class(instance, cls, {"v2", "v4"}, 0, config, report)
+        # Three pieces: keep, deflect-at-v4 (older emissions), deflect-at-v2.
+        assert len(pieces) == 3
+        intervals = sorted((p.lo is None, p.lo, p.hi) for p in pieces)
+        keep = [p for p in pieces if p.nodes == instance.old_path]
+        assert len(keep) == 1
+        assert keep[0].hi == -4  # emissions reaching v4 before t=0
+
+
+class TestSweepLink:
+    def test_disjoint_intervals_no_congestion(self):
+        spans = _sweep_link(("a", "b"), 1.0, [(0, 4, 1.0), (5, 9, 1.0)], 0)
+        assert spans == []
+
+    def test_overlap_reports_span(self):
+        spans = _sweep_link(("a", "b"), 1.0, [(0, 4, 1.0), (3, 9, 1.0)], 0)
+        assert len(spans) == 1
+        assert (spans[0].start, spans[0].end) == (3, 4)
+        assert spans[0].load == pytest.approx(2.0)
+
+    def test_demand_below_capacity_tolerated(self):
+        spans = _sweep_link(("a", "b"), 2.0, [(0, 4, 1.0), (3, 9, 1.0)], 0)
+        assert spans == []
+
+    def test_open_ended_intervals_clamped(self):
+        spans = _sweep_link(("a", "b"), 1.0, [(None, 5, 1.0), (3, None, 1.0)], 0)
+        assert len(spans) == 1
+        assert (spans[0].start, spans[0].end) == (3, 5)
+
+    def test_heterogeneous_demands(self):
+        spans = _sweep_link(
+            ("a", "b"), 1.0, [(0, 9, 0.5), (2, 4, 0.4), (3, 3, 0.3)], 0
+        )
+        assert len(spans) == 1
+        assert (spans[0].start, spans[0].end) == (3, 3)
+        assert spans[0].load == pytest.approx(1.2)
+
+    def test_single_oversized_interval(self):
+        spans = _sweep_link(("a", "b"), 1.0, [(0, 2, 1.5)], 0)
+        assert len(spans) == 1
+        assert spans[0].load == pytest.approx(1.5)
+
+    def test_span_clipped_at_t0(self):
+        spans = _sweep_link(("a", "b"), 1.0, [(-5, 5, 1.0), (-5, 5, 1.0)], 0)
+        assert len(spans) == 1
+        assert spans[0].start == 0
+
+
+class TestNodeIndexConsistency:
+    def test_indexes_track_class_lifecycle(self, instance):
+        tracker = IntervalTracker(instance)
+        tracker.apply_round(["v2"], 0)
+        tracker.apply_round(["v3"], 1)
+        # Every alive class id referenced by the indexes must exist; every
+        # alive class must be findable through its nodes and links.
+        for cid in tracker._alive:
+            cls = tracker._classes[cid]
+            for node in cls.nodes:
+                assert cid in tracker._node_index[node]
+            for _, link in cls.links():
+                assert cid in tracker._link_index[link]

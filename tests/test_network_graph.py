@@ -1,0 +1,98 @@
+"""Unit tests for the directed network graph."""
+
+import pytest
+
+from repro.network.graph import DEFAULT_CAPACITY, Link, Network, network_from_links
+
+
+class TestLink:
+    def test_endpoints(self):
+        link = Link("a", "b", capacity=2.0, delay=3)
+        assert link.endpoints == ("a", "b")
+        assert link.capacity == 2.0
+        assert link.delay == 3
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Link("a", "a")
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Link("a", "b", capacity=0.0)
+
+    def test_rejects_zero_delay(self):
+        with pytest.raises(ValueError, match="delay"):
+            Link("a", "b", delay=0)
+
+    def test_rejects_fractional_delay(self):
+        with pytest.raises(ValueError, match="delay"):
+            Link("a", "b", delay=1.5)
+
+
+class TestNetwork:
+    def test_add_link_registers_switches(self):
+        net = Network()
+        net.add_link("a", "b")
+        assert "a" in net and "b" in net
+        assert len(net) == 2
+
+    def test_duplicate_link_rejected(self):
+        net = Network()
+        net.add_link("a", "b")
+        with pytest.raises(ValueError, match="duplicate"):
+            net.add_link("a", "b")
+
+    def test_antiparallel_links_allowed(self):
+        net = Network()
+        net.add_link("a", "b", capacity=1.0)
+        net.add_link("b", "a", capacity=2.0)
+        assert net.capacity("a", "b") == 1.0
+        assert net.capacity("b", "a") == 2.0
+
+    def test_ensure_link_idempotent(self):
+        net = Network()
+        first = net.ensure_link("a", "b", capacity=5.0)
+        second = net.ensure_link("a", "b", capacity=9.0)
+        assert first is second
+        assert net.capacity("a", "b") == 5.0
+
+    def test_missing_link_raises_keyerror(self):
+        net = Network()
+        net.add_switch("a")
+        with pytest.raises(KeyError):
+            net.link("a", "b")
+        assert net.get_link("a", "b") is None
+
+    def test_successors_predecessors(self):
+        net = network_from_links([("a", "b"), ("a", "c"), ("c", "b")])
+        assert net.successors("a") == ["b", "c"]
+        assert net.predecessors("b") == ["a", "c"]
+        assert net.successors("b") == []
+
+    def test_out_in_links(self):
+        net = network_from_links([("a", "b"), ("a", "c")])
+        assert {l.dst for l in net.out_links("a")} == {"b", "c"}
+        assert [l.src for l in net.in_links("b")] == ["a"]
+
+    def test_copy_is_independent(self):
+        net = network_from_links([("a", "b")])
+        clone = net.copy()
+        clone.add_link("b", "c")
+        assert not net.has_link("b", "c")
+        assert clone.has_link("b", "c")
+
+    def test_delay_lookup(self):
+        net = Network()
+        net.add_link("a", "b", delay=4)
+        assert net.delay("a", "b") == 4
+
+    def test_switch_insertion_order_preserved(self):
+        net = Network()
+        for name in ("z", "a", "m"):
+            net.add_switch(name)
+        assert net.switches == ["z", "a", "m"]
+
+    def test_network_from_links_uniform_attributes(self):
+        net = network_from_links([("a", "b"), ("b", "c")], capacity=7.0, delay=2)
+        assert net.capacity("b", "c") == 7.0
+        assert net.delay("a", "b") == 2

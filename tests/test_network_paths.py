@@ -1,0 +1,82 @@
+"""Unit tests for path utilities."""
+
+import pytest
+
+from repro.network.graph import network_from_links
+from repro.network.paths import (
+    arrival_offsets,
+    as_path,
+    follow_config,
+    is_simple,
+    path_delay,
+    path_links,
+    validate_path,
+)
+
+
+@pytest.fixture
+def chain():
+    return network_from_links([("a", "b"), ("b", "c"), ("c", "d")], delay=2)
+
+
+class TestAsPath:
+    def test_normalises_to_tuple(self):
+        assert as_path(["a", "b"]) == ("a", "b")
+
+    def test_rejects_single_node(self):
+        with pytest.raises(ValueError):
+            as_path(["a"])
+
+    def test_rejects_consecutive_repeat(self):
+        with pytest.raises(ValueError):
+            as_path(["a", "a", "b"])
+
+
+class TestPathLinks:
+    def test_links(self):
+        assert list(path_links(("a", "b", "c"))) == [("a", "b"), ("b", "c")]
+
+    def test_empty_for_short(self):
+        assert list(path_links(("a", "b"))) == [("a", "b")]
+
+
+class TestValidatePath:
+    def test_valid(self, chain):
+        validate_path(chain, ("a", "b", "c", "d"))
+
+    def test_missing_link(self, chain):
+        with pytest.raises(ValueError, match="missing link"):
+            validate_path(chain, ("a", "c"))
+
+    def test_non_simple(self, chain):
+        with pytest.raises(ValueError, match="not simple"):
+            validate_path(chain, ("a", "b", "a"))
+
+
+class TestDelays:
+    def test_path_delay(self, chain):
+        assert path_delay(chain, ("a", "b", "c", "d")) == 6
+
+    def test_arrival_offsets(self, chain):
+        assert arrival_offsets(chain, ("a", "b", "c", "d")) == [0, 2, 4, 6]
+
+    def test_is_simple(self):
+        assert is_simple(("a", "b", "c"))
+        assert not is_simple(("a", "b", "a"))
+
+
+class TestFollowConfig:
+    def test_complete_route(self):
+        nodes, complete = follow_config({"a": "b", "b": "c"}, "a", "c", max_hops=5)
+        assert nodes == ("a", "b", "c")
+        assert complete
+
+    def test_blackhole(self):
+        nodes, complete = follow_config({"a": "b"}, "a", "c", max_hops=5)
+        assert nodes == ("a", "b")
+        assert not complete
+
+    def test_loop_guard(self):
+        nodes, complete = follow_config({"a": "b", "b": "a"}, "a", "c", max_hops=4)
+        assert not complete
+        assert len(nodes) == 5  # a plus four hops

@@ -1,0 +1,146 @@
+"""Unit and property tests for topology generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.flows import Flow
+from repro.network.paths import path_delay, validate_path
+from repro.network.topology import (
+    TwoPathTopology,
+    emulation_topology,
+    fat_tree_topology,
+    linear_topology,
+    reversal_topology,
+    ring_topology,
+    segmented_reversal_topology,
+    switch_names,
+    two_path_topology,
+    waxman_topology,
+)
+
+
+class TestFlow:
+    def test_rejects_equal_endpoints(self):
+        with pytest.raises(ValueError):
+            Flow("f", "a", "a")
+
+    def test_rejects_nonpositive_demand(self):
+        with pytest.raises(ValueError):
+            Flow("f", "a", "b", demand=0)
+
+
+class TestSwitchNames:
+    def test_naming(self):
+        assert switch_names(3) == ["v1", "v2", "v3"]
+
+    def test_minimum(self):
+        with pytest.raises(ValueError):
+            switch_names(1)
+
+
+class TestLinear:
+    def test_chain_structure(self):
+        net, path = linear_topology(5)
+        assert path == ("v1", "v2", "v3", "v4", "v5")
+        assert len(net.links) == 4
+        validate_path(net, path)
+
+
+class TestRing:
+    def test_bidirectional_ring(self):
+        net = ring_topology(4)
+        assert len(net.links) == 8
+        assert net.has_link("v4", "v1") and net.has_link("v1", "v4")
+
+    def test_unidirectional_ring(self):
+        net = ring_topology(4, bidirectional=False)
+        assert len(net.links) == 4
+
+
+class TestTwoPath:
+    @given(count=st.integers(min_value=3, max_value=40), seed=st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_paths_share_endpoints_and_exist(self, count, seed):
+        topo = two_path_topology(count, rng=random.Random(seed))
+        assert topo.old_path[0] == topo.new_path[0] == "v1"
+        assert topo.old_path[-1] == topo.new_path[-1] == f"v{count}"
+        validate_path(topo.network, topo.old_path)
+        validate_path(topo.network, topo.new_path)
+
+    def test_detour_fraction_zero_is_direct(self):
+        topo = two_path_topology(6, rng=random.Random(1), detour_fraction=0.0)
+        assert topo.new_path == ("v1", "v6")
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            two_path_topology(5, detour_fraction=1.5)
+
+    def test_mismatched_endpoints_rejected(self):
+        net, path = linear_topology(4)
+        with pytest.raises(ValueError):
+            TwoPathTopology(network=net, old_path=path, new_path=("v2", "v3", "v4"))
+
+    def test_max_delay_draws_in_range(self):
+        topo = two_path_topology(10, rng=random.Random(3), max_delay=4)
+        assert all(1 <= link.delay <= 4 for link in topo.network.links)
+
+
+class TestReversal:
+    def test_new_path_reverses_middle(self):
+        topo = reversal_topology(5)
+        assert topo.old_path == ("v1", "v2", "v3", "v4", "v5")
+        assert topo.new_path == ("v1", "v4", "v3", "v2", "v5")
+
+
+class TestSegmentedReversal:
+    @given(count=st.integers(20, 200), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_valid_paths(self, count, seed):
+        topo = segmented_reversal_topology(count, rng=random.Random(seed))
+        validate_path(topo.network, topo.old_path)
+        validate_path(topo.network, topo.new_path)
+        assert topo.old_path[0] == topo.new_path[0]
+        assert topo.old_path[-1] == topo.new_path[-1]
+
+    @given(count=st.integers(20, 120), seed=st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_new_path_not_faster(self, count, seed):
+        """phi(new) >= phi(old): the Algorithm 1 feasibility condition."""
+        topo = segmented_reversal_topology(count, rng=random.Random(seed))
+        assert path_delay(topo.network, topo.new_path) >= path_delay(
+            topo.network, topo.old_path
+        )
+
+
+class TestWaxman:
+    def test_links_are_bidirectional(self):
+        net = waxman_topology(20, rng=random.Random(7))
+        for link in net.links:
+            assert net.has_link(link.dst, link.src)
+
+    def test_switch_count(self):
+        net = waxman_topology(15, rng=random.Random(1))
+        assert len(net) == 15
+
+
+class TestFatTree:
+    def test_k4_shape(self):
+        net = fat_tree_topology(4)
+        cores = [s for s in net.switches if s.startswith("core")]
+        aggs = [s for s in net.switches if s.startswith("agg")]
+        edges = [s for s in net.switches if s.startswith("edge")]
+        assert len(cores) == 4 and len(aggs) == 8 and len(edges) == 8
+
+    def test_odd_arity_rejected(self):
+        with pytest.raises(ValueError):
+            fat_tree_topology(3)
+
+
+class TestEmulation:
+    def test_matches_paper_setup(self):
+        topo = emulation_topology(rng=random.Random(2))
+        assert len([n for n in topo.network.switches]) == 10
+        assert all(link.capacity == 5.0 for link in topo.network.links)

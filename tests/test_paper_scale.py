@@ -1,0 +1,30 @@
+"""The paper-scale preset runner (smoke-level: presets resolve and guard)."""
+
+import repro.experiments.paper_scale as paper_scale
+
+
+def test_runner_registry_covers_all_simulation_figures():
+    assert set(paper_scale.RUNNERS) == {"fig7", "fig8", "fig9", "fig10", "fig11"}
+
+
+def test_unknown_experiment_rejected(capsys):
+    assert paper_scale.main(["nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().out
+
+
+def test_presets_match_paper_parameters():
+    assert paper_scale.PAPER_INSTANCES == 500
+    assert paper_scale.PAPER_CUTOFF == 600.0
+    assert paper_scale.PAPER_SIZES_LARGE[-1] == 6000
+
+
+def test_main_dispatch_runs_selected(monkeypatch, capsys):
+    class Stub:
+        def render(self):
+            return "stub-table"
+
+    monkeypatch.setitem(paper_scale.RUNNERS, "fig7", lambda: Stub())
+    assert paper_scale.main(["fig7"]) == 0
+    out = capsys.readouterr().out
+    assert "fig7 at paper scale" in out
+    assert "stub-table" in out

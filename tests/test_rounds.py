@@ -1,0 +1,110 @@
+"""Unit tests for round-based loop-freedom (OR machinery)."""
+
+import pytest
+
+from repro.core.rounds import (
+    greedy_loop_free_rounds,
+    has_cycle,
+    round_is_loop_free,
+    rounds_are_loop_free,
+    union_forwarding_edges,
+)
+
+
+class TestHasCycle:
+    def test_acyclic(self):
+        assert not has_cycle({"a": ["b"], "b": ["c"], "c": []})
+
+    def test_two_cycle(self):
+        assert has_cycle({"a": ["b"], "b": ["a"]})
+
+    def test_self_reference_via_branch(self):
+        assert has_cycle({"a": ["b", "c"], "b": [], "c": ["a"]})
+
+    def test_disconnected_components(self):
+        assert has_cycle({"a": ["b"], "b": [], "x": ["y"], "y": ["x"]})
+
+
+class TestUnionGraph:
+    def test_round_node_keeps_both_edges(self, fig1_instance):
+        edges = union_forwarding_edges(fig1_instance, set(), {"v3"})
+        assert sorted(edges["v3"]) == ["v2", "v4"]
+
+    def test_updated_node_uses_new_edge(self, fig1_instance):
+        edges = union_forwarding_edges(fig1_instance, {"v2"}, set())
+        assert edges["v2"] == ["v6"]
+
+    def test_pending_node_uses_old_edge(self, fig1_instance):
+        edges = union_forwarding_edges(fig1_instance, set(), set())
+        assert edges["v4"] == ["v5"]
+
+
+class TestRoundSafety:
+    def test_v3_alone_is_unsafe_first(self, fig1_instance):
+        # v3 -> v2 (new) + v2 -> v3 (old) forms a cycle.
+        assert not round_is_loop_free(fig1_instance, set(), {"v3"})
+
+    def test_v3_safe_after_v2(self, fig1_instance):
+        assert round_is_loop_free(fig1_instance, {"v2"}, {"v3"})
+
+    def test_v1_v2_safe_together(self, fig1_instance):
+        assert round_is_loop_free(fig1_instance, set(), {"v1", "v2"})
+
+    def test_adjacent_swap_pair_never_joint(self, fig1_instance):
+        # v3 and v4 swap direction: both-edged together they always cycle.
+        assert not round_is_loop_free(fig1_instance, {"v2"}, {"v3", "v4"})
+
+
+class TestGreedyRounds:
+    def test_covers_all_switches(self, fig1_instance):
+        rounds = greedy_loop_free_rounds(fig1_instance)
+        flat = [node for r in rounds for node in r]
+        assert sorted(flat) == sorted(fig1_instance.switches_to_update)
+
+    def test_rounds_validate(self, fig1_instance):
+        rounds = greedy_loop_free_rounds(fig1_instance)
+        assert rounds_are_loop_free(fig1_instance, rounds)
+
+    def test_respects_already_updated(self, fig1_instance):
+        rounds = greedy_loop_free_rounds(
+            fig1_instance, pending=["v3"], updated={"v1", "v2"}
+        )
+        assert rounds == [["v3"]]
+
+    def test_deadline_dumps_remaining(self, fig1_instance):
+        import time
+
+        rounds = greedy_loop_free_rounds(fig1_instance, deadline=time.monotonic() - 1)
+        assert len(rounds) == 1  # everything dumped into one unchecked round
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_instances_round_partitions_are_safe(self, seed):
+        from repro.core.instance import random_instance
+
+        instance = random_instance(5 + seed % 7, seed=seed * 3)
+        rounds = greedy_loop_free_rounds(instance)
+        assert rounds_are_loop_free(instance, rounds)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_no_static_cycle_at_any_execution_instant(self, seed):
+        """The union-graph criterion prevents *infinite* forwarding loops.
+
+        (Packets may still transiently revisit a switch they crossed before
+        an update -- Definition 2 is stronger, which is exactly why OR is
+        not enough for Chronus' goals -- but no packet can cycle forever.)
+        """
+        import random
+
+        from repro.core.instance import random_instance
+        from repro.core.rounds import union_forwarding_edges
+        from repro.updates.order_replacement import realize_round_times
+
+        instance = random_instance(6 + seed % 5, seed=seed * 7)
+        rounds = greedy_loop_free_rounds(instance)
+        realized = realize_round_times(rounds, rng=random.Random(seed), max_skew=2)
+        times = realized.as_dict()
+        checkpoints = sorted(set(times.values()))
+        for t in checkpoints:
+            updated = {node for node, when in times.items() if when <= t}
+            edges = union_forwarding_edges(instance, updated, set())
+            assert not has_cycle(edges)

@@ -1,0 +1,80 @@
+"""Unit tests for update schedules."""
+
+import pytest
+
+from repro.core.schedule import UpdateSchedule, schedule_from_rounds
+
+
+class TestBasics:
+    def test_makespan_counts_inclusive_steps(self):
+        schedule = UpdateSchedule({"a": 0, "b": 3}, start_time=0)
+        assert schedule.makespan == 4  # t0..t3
+
+    def test_makespan_uses_start_time(self):
+        schedule = UpdateSchedule({"a": 5}, start_time=3)
+        assert schedule.makespan == 3  # t3, t4, t5
+
+    def test_empty_schedule(self):
+        schedule = UpdateSchedule({}, start_time=2)
+        assert schedule.makespan == 0
+        assert schedule.t0 == 2
+        assert len(schedule) == 0
+
+    def test_t0_defaults_to_earliest(self):
+        schedule = UpdateSchedule({"a": 4, "b": 7})
+        assert schedule.t0 == 4
+
+    def test_update_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateSchedule({"a": 1}, start_time=2)
+
+    def test_non_integer_time_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateSchedule({"a": 1.5})
+
+    def test_contains_and_time_of(self):
+        schedule = UpdateSchedule({"a": 1})
+        assert "a" in schedule and "b" not in schedule
+        assert schedule.time_of("a") == 1
+        with pytest.raises(KeyError):
+            schedule.time_of("b")
+
+
+class TestRounds:
+    def test_rounds_grouped_and_sorted(self):
+        schedule = UpdateSchedule({"a": 2, "b": 0, "c": 2})
+        assert schedule.rounds() == [(0, ("b",)), (2, ("a", "c"))]
+
+    def test_schedule_from_rounds(self):
+        schedule = schedule_from_rounds([["a", "b"], [], ["c"]], start_time=5)
+        assert schedule.time_of("a") == 5
+        assert schedule.time_of("c") == 7
+
+    def test_schedule_from_rounds_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            schedule_from_rounds([["a"], ["a"]])
+
+
+class TestTransforms:
+    def test_shifted(self):
+        schedule = UpdateSchedule({"a": 1, "b": 2}, start_time=1)
+        moved = schedule.shifted(10)
+        assert moved.time_of("a") == 11
+        assert moved.t0 == 11
+        assert moved.makespan == schedule.makespan
+
+    def test_restricted_to(self):
+        schedule = UpdateSchedule({"a": 1, "b": 2})
+        small = schedule.restricted_to(["a"])
+        assert "b" not in small and small.time_of("a") == 1
+
+    def test_as_dict_is_a_copy(self):
+        schedule = UpdateSchedule({"a": 1})
+        d = schedule.as_dict()
+        d["a"] = 99
+        assert schedule.time_of("a") == 1
+
+    def test_feasible_flag_preserved(self):
+        schedule = UpdateSchedule({"a": 1}, feasible=False)
+        assert not schedule.shifted(1).feasible
+        assert not schedule.restricted_to(["a"]).feasible

@@ -1,0 +1,179 @@
+"""Unit tests for the discrete-event fluid data plane."""
+
+import pytest
+
+from repro.core.instance import motivating_example
+from repro.simulator import (
+    BandwidthMonitor,
+    DataLink,
+    FlowRule,
+    FlowTable,
+    Match,
+    PacketContext,
+    Simulator,
+    build_dataplane,
+)
+from repro.simulator.dataplane import install_config
+from repro.simulator.events import EventQueue
+from repro.simulator.switch import HOST_PORT
+
+
+class TestEventQueue:
+    def test_fifo_at_equal_times(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(1.0, lambda: order.append("b"))
+        queue.pop().callback()
+        queue.pop().callback()
+        assert order == ["a", "b"]
+
+    def test_cancellation(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.cancel(handle)
+        assert queue.pop() is None
+        assert not queue
+
+
+class TestSimulator:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(2.0, lambda: seen.append(2.0))
+        sim.schedule_at(1.0, lambda: seen.append(1.0))
+        sim.run()
+        assert seen == [1.0, 2.0]
+        assert sim.now == 2.0
+
+    def test_until_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(1.0, lambda: sim.schedule_after(1.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [2.0]
+
+
+class TestFlowTable:
+    def test_priority_wins(self):
+        table = FlowTable()
+        table.add(FlowRule("low", Match(dst_prefix="d"), out_port=1, priority=0))
+        table.add(FlowRule("high", Match(dst_prefix="d", tag=2), out_port=2, priority=5))
+        tagged = PacketContext(in_port=1, src_prefix="s", dst_prefix="d", tag=2)
+        plain = PacketContext(in_port=1, src_prefix="s", dst_prefix="d")
+        assert table.lookup(tagged).name == "high"
+        assert table.lookup(plain).name == "low"
+
+    def test_miss_returns_none(self):
+        table = FlowTable()
+        context = PacketContext(in_port=1, src_prefix="s", dst_prefix="d")
+        assert table.lookup(context) is None
+
+    def test_modify_rewrites_action(self):
+        table = FlowTable()
+        table.add(FlowRule("r", Match(dst_prefix="d"), out_port=1))
+        table.modify("r", out_port=7)
+        assert table.rules[0].out_port == 7
+        assert table.occupancy == 1
+
+    def test_delete(self):
+        table = FlowTable()
+        table.add(FlowRule("r", Match(), out_port=1))
+        table.delete("r")
+        assert table.occupancy == 0
+        with pytest.raises(KeyError):
+            table.delete("r")
+
+    def test_duplicate_rule_name_rejected(self):
+        table = FlowTable()
+        table.add(FlowRule("r", Match(), out_port=1))
+        with pytest.raises(ValueError):
+            table.add(FlowRule("r", Match(), out_port=2))
+
+    def test_in_port_matching(self):
+        table = FlowTable()
+        table.add(FlowRule("host", Match(in_port=HOST_PORT), out_port=3))
+        from_host = PacketContext(in_port=HOST_PORT, src_prefix="s", dst_prefix="d")
+        from_wire = PacketContext(in_port=2, src_prefix="s", dst_prefix="d")
+        assert table.lookup(from_host) is not None
+        assert table.lookup(from_wire) is None
+
+    def test_render_table2_layout(self):
+        table = FlowTable()
+        table.add(FlowRule("r", Match(dst_prefix="v12"), out_port=1))
+        rows = table.render()
+        assert "InPort" in rows[0] and "Output:1" in rows[1]
+
+
+class TestDataPlane:
+    def build(self):
+        instance = motivating_example()
+        sim = Simulator()
+        plane = build_dataplane(sim, instance.network, delay_scale=1.0)
+        install_config(plane, instance)
+        return instance, sim, plane
+
+    def test_steady_state_flow_delivery(self):
+        instance, sim, plane = self.build()
+        plane.inject_flow("v1", "h1", "v6", rate=1.0)
+        sim.run(until=10.0)
+        assert plane.switch("v6").delivered == pytest.approx(1.0)
+        assert plane.total_blackholed() == 0.0
+
+    def test_rate_propagates_with_link_delays(self):
+        instance, sim, plane = self.build()
+        plane.inject_flow("v1", "h1", "v6", rate=1.0)
+        sim.run(until=2.5)  # delay v1->..->v6 is 5 seconds
+        assert plane.switch("v6").delivered == 0.0
+        sim.run(until=5.5)
+        assert plane.switch("v6").delivered == pytest.approx(1.0)
+
+    def test_rule_change_reroutes_traffic(self):
+        instance, sim, plane = self.build()
+        plane.inject_flow("v1", "h1", "v6", rate=1.0)
+        sim.run(until=10.0)
+        switch = plane.switch("v2")
+        switch.table.modify(instance.flow.name, out_port=plane.port_of("v2", "v6"))
+        switch.on_table_changed()
+        sim.run(until=20.0)
+        assert plane.link("v2", "v6").utilization == pytest.approx(1.0)
+        assert plane.link("v2", "v3").utilization == 0.0
+        assert plane.switch("v6").delivered == pytest.approx(1.0)
+
+    def test_byte_counters_integrate_rates(self):
+        instance, sim, plane = self.build()
+        plane.inject_flow("v1", "h1", "v6", rate=2.0)
+        sim.run(until=11.0)
+        link = plane.link("v1", "v2")
+        # 2 Mbps since t=0 -> 20 Mbit by t=10.
+        assert link.byte_counter(10.0) == pytest.approx(20.0)
+
+    def test_monitor_measures_bandwidth(self):
+        instance, sim, plane = self.build()
+        monitor = BandwidthMonitor(plane, interval=1.0, links=[("v1", "v2")])
+        monitor.start()
+        plane.inject_flow("v1", "h1", "v6", rate=1.5)
+        sim.run(until=5.5)
+        series = monitor.link_series("v1", "v2")
+        assert series
+        assert series[-1].mbps == pytest.approx(1.5)
+
+    def test_congested_seconds(self):
+        instance, sim, plane = self.build()
+        plane.inject_flow("v1", "h1", "v6", rate=1.0)
+        plane.inject_flow("v1", "h2", "v6", rate=1.0)
+        sim.run(until=4.0)
+        assert plane.link("v1", "v2").congested_seconds() == pytest.approx(4.0)
+        assert plane.link("v1", "v2").peak_utilization() == pytest.approx(2.0)

@@ -1,0 +1,120 @@
+"""Property-style tests for the fluid data plane (conservation, determinism)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import random_instance
+from repro.simulator import BandwidthMonitor, Simulator, build_dataplane
+from repro.simulator.dataplane import install_config
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build(instance, delay_scale=1.0):
+    sim = Simulator()
+    plane = build_dataplane(sim, instance.network, delay_scale=delay_scale)
+    install_config(plane, instance)
+    return sim, plane
+
+
+class TestConservation:
+    @given(
+        count=st.integers(min_value=3, max_value=10),
+        seed=st.integers(min_value=0, max_value=2_000),
+        rate=st.floats(min_value=0.1, max_value=5.0),
+    )
+    @settings(max_examples=25, **COMMON)
+    def test_steady_state_delivers_injected_rate(self, count, seed, rate):
+        """Flow in equals flow out once the pipeline fills."""
+        instance = random_instance(count, seed=seed)
+        sim, plane = build(instance)
+        plane.inject_flow(
+            instance.source, "h", str(instance.destination), rate=rate
+        )
+        sim.run(until=instance.old_path_delay + 2.0)
+        assert plane.switch(instance.destination).delivered == pytest.approx(rate)
+        assert plane.total_blackholed() == 0.0
+
+    @given(
+        count=st.integers(min_value=3, max_value=8),
+        seed=st.integers(min_value=0, max_value=2_000),
+    )
+    @settings(max_examples=15, **COMMON)
+    def test_stopping_the_flow_drains_the_network(self, count, seed):
+        instance = random_instance(count, seed=seed)
+        sim, plane = build(instance)
+        context = plane.inject_flow(
+            instance.source, "h", str(instance.destination), rate=1.0
+        )
+        sim.run(until=instance.old_path_delay + 1.0)
+        plane.switch(instance.source).inject(context, 0.0)
+        sim.run(until=2 * instance.old_path_delay + 3.0)
+        assert plane.switch(instance.destination).delivered == 0.0
+        assert all(link.utilization == 0.0 for link in plane.links.values())
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_counters(self):
+        instance = random_instance(8, seed=11)
+
+        def run():
+            sim, plane = build(instance)
+            plane.inject_flow(instance.source, "h", str(instance.destination), 1.0)
+            monitor = BandwidthMonitor(plane, interval=0.5)
+            monitor.start()
+            sim.run(until=9.0)
+            return [
+                (link, plane.links[link].byte_counter()) for link in sorted(plane.links)
+            ]
+
+        assert run() == run()
+
+
+class TestMonitorMethodology:
+    def test_bandwidth_equals_counter_delta_over_interval(self):
+        """The Fig. 6 measurement methodology, verified against ground truth."""
+        instance = random_instance(5, seed=2)
+        sim, plane = build(instance)
+        monitor = BandwidthMonitor(plane, interval=2.0)
+        monitor.start()
+        plane.inject_flow(instance.source, "h", str(instance.destination), 3.0)
+        sim.run(until=8.5)
+        first_link = (instance.old_path[0], instance.old_path[1])
+        samples = monitor.link_series(*first_link)
+        # After the first interval the link runs at the injected rate.
+        assert samples[-1].mbps == pytest.approx(3.0)
+        # Counter delta over the window matches rate * time.
+        link = plane.links[first_link]
+        assert link.byte_counter(8.0) - link.byte_counter(6.0) == pytest.approx(6.0)
+
+    def test_peak_series_takes_max_across_links(self):
+        instance = random_instance(5, seed=3)
+        sim, plane = build(instance)
+        monitor = BandwidthMonitor(plane, interval=1.0)
+        monitor.start()
+        plane.inject_flow(instance.source, "h", str(instance.destination), 2.0)
+        sim.run(until=6.0)
+        peaks = monitor.peak_series()
+        assert peaks
+        assert max(sample.mbps for sample in peaks) == pytest.approx(2.0)
+        assert monitor.most_utilized_link() is not None
+
+    def test_monitor_start_twice_rejected(self):
+        instance = random_instance(4, seed=4)
+        sim, plane = build(instance)
+        monitor = BandwidthMonitor(plane, interval=1.0)
+        monitor.start()
+        with pytest.raises(RuntimeError):
+            monitor.start()
+
+    def test_invalid_interval_rejected(self):
+        instance = random_instance(4, seed=5)
+        sim, plane = build(instance)
+        with pytest.raises(ValueError):
+            BandwidthMonitor(plane, interval=0.0)

@@ -1,0 +1,72 @@
+"""Unit tests for the time-extended network (Definition 4)."""
+
+import pytest
+
+from repro.core.timeext import TimeExtendedNetwork, build_window
+from repro.network.graph import network_from_links
+
+
+@pytest.fixture
+def net():
+    return network_from_links([("a", "b"), ("b", "c")], delay=2)
+
+
+class TestConstruction:
+    def test_invalid_window_rejected(self, net):
+        with pytest.raises(ValueError):
+            TimeExtendedNetwork(net, t_start=3, t_end=1)
+
+    def test_times(self, net):
+        gt = TimeExtendedNetwork(net, -2, 3)
+        assert list(gt.times) == [-2, -1, 0, 1, 2, 3]
+
+    def test_timed_nodes_count(self, net):
+        gt = TimeExtendedNetwork(net, 0, 1)
+        assert len(list(gt.timed_nodes)) == 3 * 2
+
+    def test_timed_links_respect_delay(self, net):
+        gt = TimeExtendedNetwork(net, 0, 2)
+        links = set(gt.timed_links)
+        assert (("a", 0), ("b", 2)) in links
+        # Departures whose arrival leaves the window are excluded.
+        assert not any(src == ("a", 1) for src, _ in links)
+
+    def test_build_window_covers_history(self, net):
+        gt = build_window(net, old_path_delay=4, t0=10, horizon=1)
+        assert gt.t_start == 6 and gt.t_end == 11
+
+
+class TestQueries:
+    def test_successors(self, net):
+        gt = TimeExtendedNetwork(net, 0, 4)
+        assert gt.successors(("a", 0)) == [("b", 2)]
+        assert gt.successors(("a", 3)) == []  # arrival would leave window
+
+    def test_predecessors(self, net):
+        gt = TimeExtendedNetwork(net, 0, 4)
+        assert gt.predecessors(("b", 2)) == [("a", 0)]
+        assert gt.predecessors(("b", 1)) == []
+
+    def test_timed_link_and_capacity(self, net):
+        gt = TimeExtendedNetwork(net, 0, 4)
+        link = gt.timed_link("a", "b", 1)
+        assert link == (("a", 1), ("b", 3))
+        assert gt.capacity(link) == 1.0
+
+    def test_timed_link_outside_window(self, net):
+        gt = TimeExtendedNetwork(net, 0, 2)
+        with pytest.raises(ValueError):
+            gt.timed_link("a", "b", 1)  # arrival at 3 > t_end
+
+    def test_extend(self, net):
+        gt = TimeExtendedNetwork(net, 0, 1)
+        grown = gt.extend(5)
+        assert grown.t_end == 5
+        with pytest.raises(ValueError):
+            gt.extend(0)
+
+    def test_timed_path_truncated_at_window(self, net):
+        gt = TimeExtendedNetwork(net, 0, 3)
+        assert gt.timed_path(["a", "b", "c"], 0) == [("a", 0), ("b", 2)]
+        grown = gt.extend(4)
+        assert grown.timed_path(["a", "b", "c"], 0) == [("a", 0), ("b", 2), ("c", 4)]
