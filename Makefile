@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-fast bench bench-full
+
+test:            ## full tier-1 suite
+	$(PYTHON) -m pytest -x -q
+
+test-fast:       ## tier-1 without the slow markers
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+bench:           ## quick perf harness; appends to BENCH_sweep.json, gates on parallel slowdown
+	$(PYTHON) scripts/bench.py --quick
+
+bench-full:      ## full-size perf harness (minutes)
+	$(PYTHON) scripts/bench.py

@@ -5,14 +5,44 @@ reproduced rows/series (captured output is shown with ``pytest -s``).  The
 experiment functions are executed once per benchmark (``pedantic`` with one
 round): they are macro-benchmarks whose interesting output is the result,
 with the wall-clock time recorded on the side.
+
+:func:`run_once` always emits the wall clock as a plain ``[bench] name:
+X.XXXs`` print line, so timings survive environments where the
+``pytest-benchmark`` plugin (or its reporting) is unavailable -- pass
+``benchmark=None`` there.  ``benchmarks/perf_harness.py`` reuses
+:func:`timed` / :func:`run_once` for the standalone perf trajectory.
 """
+
+import time
 
 import pytest
 
 
-def run_once(benchmark, fn, *args, **kwargs):
-    """Run ``fn`` exactly once under the benchmark timer."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+def timed(fn, *args, **kwargs):
+    """Call ``fn`` once; return ``(result, elapsed_seconds)``."""
+    started = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - started
+
+
+def run_once(benchmark, fn, *args, label=None, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    Works with or without the ``pytest-benchmark`` fixture (``benchmark``
+    may be ``None``); either way the wall clock is printed as a plain
+    line so the timing is visible in any environment.
+    """
+    name = label or getattr(fn, "__name__", repr(fn))
+    if benchmark is None:
+        result, elapsed = timed(fn, *args, **kwargs)
+    else:
+        started = time.perf_counter()
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        elapsed = time.perf_counter() - started
+    print(f"[bench] {name}: {elapsed:.3f}s")
+    # Callers that need the number (perf_harness) read it back here.
+    run_once.last_elapsed = elapsed
+    return result
 
 
 @pytest.fixture

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Perf-trajectory entry point: run the harness, append to BENCH_sweep.json.
+
+Usage::
+
+    python scripts/bench.py            # full sizes (minutes)
+    python scripts/bench.py --quick    # small sizes (CI smoke / make bench)
+    python scripts/bench.py --no-write # measure only, leave the JSON alone
+
+Exit status is non-zero when a measured invariant fails:
+
+* parallel and serial sweep records differ (determinism is a hard
+  guarantee, checked on any machine), or
+* on a machine with 2+ usable cores, the parallel sweep is more than
+  1.2x slower than the serial sweep (the pool must never cost more than
+  it gives; single-core boxes skip this gate because a process pool
+  cannot beat serial there).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from benchmarks import perf_harness  # noqa: E402  (path setup above)
+
+SLOWDOWN_LIMIT = 1.2
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for smoke runs"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="pool size for the sweep benchmark"
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="do not append to BENCH_sweep.json"
+    )
+    args = parser.parse_args(argv)
+
+    record = perf_harness.collect(quick=args.quick, workers=args.workers)
+    record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    if not args.no_write:
+        history = perf_harness.append_record(record)
+        print(
+            f"appended record #{len(history)} to {perf_harness.BENCH_FILE.name} "
+            f"(cpus={record['cpus']})"
+        )
+
+    failures = []
+    sweep = record["sweep"]
+    if not sweep["identical_records"]:
+        failures.append("parallel sweep records differ from serial records")
+    cpus = record["cpus"]
+    if cpus >= 2 and sweep["serial_seconds"] > 0:
+        slowdown = sweep["parallel_seconds"] / sweep["serial_seconds"]
+        if slowdown > SLOWDOWN_LIMIT:
+            failures.append(
+                f"parallel sweep {slowdown:.2f}x slower than serial on "
+                f"{cpus} cores (limit {SLOWDOWN_LIMIT}x)"
+            )
+    for failure in failures:
+        print(f"BENCH GATE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

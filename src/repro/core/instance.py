@@ -237,9 +237,16 @@ def random_instance(
     capacity: float = 1.0,
     max_delay: Optional[int] = None,
     detour_fraction: float = 1.0,
+    rng: Optional[random.Random] = None,
 ) -> UpdateInstance:
-    """A random two-path instance per the paper's simulation setup."""
-    rng = random.Random(seed)
+    """A random two-path instance per the paper's simulation setup.
+
+    Pass ``rng`` to thread an explicit random stream through (takes
+    precedence over ``seed``); otherwise a fresh ``random.Random(seed)``
+    is used, so equal seeds give equal instances in any process.
+    """
+    if rng is None:
+        rng = random.Random(seed)
     topo = two_path_topology(
         count,
         rng=rng,
@@ -262,11 +269,17 @@ def segmented_instance(
     max_segment_length: int = 12,
     demand: float = 1.0,
     capacity: float = 1.0,
+    rng: Optional[random.Random] = None,
 ) -> UpdateInstance:
-    """A large-scale locally-rerouted instance (Figs. 10/11 workload)."""
+    """A large-scale locally-rerouted instance (Figs. 10/11 workload).
+
+    ``rng`` takes precedence over ``seed`` (see :func:`random_instance`).
+    """
+    if rng is None:
+        rng = random.Random(seed)
     topo = segmented_reversal_topology(
         count,
-        rng=random.Random(seed),
+        rng=rng,
         segments=segments,
         max_segment_length=max_segment_length,
         capacity=capacity,

@@ -20,11 +20,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.core.cow import CowIndex
 from repro.core.instance import UpdateInstance
 from repro.core.schedule import UpdateSchedule
 from repro.network.graph import Node
 
 LinkKey = Tuple[Node, Node]
+
+# One committed load contribution on a link: the owning class id (``None``
+# for background load) and its departure interval.
+_Entry = Tuple[Optional[int], Optional[int], Optional[int], float]
 
 _EPS = 1e-9
 
@@ -172,15 +177,30 @@ class IntervalTracker:
         self._last_time: Optional[int] = None
         self._classes: Dict[int, FlowClass] = {}
         self._alive: Set[int] = set()
-        self._link_index: Dict[LinkKey, List[int]] = {}
-        self._node_index: Dict[Node, List[int]] = {}
+        self._link_index: CowIndex[LinkKey, int] = CowIndex()
+        self._node_index: CowIndex[Node, int] = CowIndex()
         self._next_id = 0
+        # Congestion-check memoisation, valid between commits: candidate
+        # -round probes (greedy's and OPT's ``preview_round`` calls) hit
+        # the same links repeatedly while the committed load is unchanged,
+        # so the committed interval list and its sweep result are cached
+        # per link and invalidated wholesale by ``apply_round``.
+        self._entry_memo: Dict[LinkKey, Tuple[_Entry, ...]] = {}
+        self._span_memo: Dict[LinkKey, Tuple[CongestionSpan, ...]] = {}
 
         initial = _make_class(instance, None, None, instance.old_path)
         self._add_class(initial)
 
     def clone(self) -> "IntervalTracker":
-        """An independent copy (flow classes are immutable and shared)."""
+        """An independent copy in O(touched state), not O(whole state).
+
+        Flow classes are immutable and shared outright; the link and node
+        indexes are copy-on-write (:class:`repro.core.cow.CowIndex`), so
+        only their head-pointer dicts are copied -- every per-key id
+        sequence is structurally shared with this tracker.  The congestion
+        memos carry over: they are keyed on per-link revisions, which both
+        copies advance independently after the split.
+        """
         other = object.__new__(IntervalTracker)
         other.instance = self.instance
         other.t0 = self.t0
@@ -189,9 +209,11 @@ class IntervalTracker:
         other._last_time = self._last_time
         other._classes = dict(self._classes)
         other._alive = set(self._alive)
-        other._link_index = {link: list(ids) for link, ids in self._link_index.items()}
-        other._node_index = {node: list(ids) for node, ids in self._node_index.items()}
+        other._link_index = self._link_index.snapshot()
+        other._node_index = self._node_index.snapshot()
         other._next_id = self._next_id
+        other._entry_memo = dict(self._entry_memo)
+        other._span_memo = dict(self._span_memo)
         return other
 
     # ------------------------------------------------------------------
@@ -277,30 +299,29 @@ class IntervalTracker:
         self._check_new_congestion(pieces, removed, report)
         for cid in removed:
             self._alive.discard(cid)
-        for piece in pieces:
+        for piece, _parent in pieces:
             self._add_class(piece)
         for node in nodes:
             self._applied[node] = time
         self._last_time = time
+        if removed or pieces:
+            self._entry_memo.clear()
+            self._span_memo.clear()
         return report
 
     # ------------------------------------------------------------------
     # global checks
     # ------------------------------------------------------------------
     def congestion_spans(self) -> List[CongestionSpan]:
-        """All capacity violations of the current flow state."""
+        """All capacity violations of the current flow state.
+
+        Per-link results are memoised on the link's load revision, so
+        repeated global checks only re-sweep links whose load changed.
+        """
         spans: List[CongestionSpan] = []
         links = set(self._link_index) | set(self.background)
         for link in sorted(links):
-            intervals = self._link_intervals(link)
-            spans.extend(
-                _sweep_link(
-                    link,
-                    self.instance.network.capacity(*link),
-                    intervals,
-                    self.t0,
-                )
-            )
+            spans.extend(self._committed_spans(link))
         spans.sort(key=lambda span: (span.start, span.link))
         return spans
 
@@ -347,7 +368,7 @@ class IntervalTracker:
 
     def _split(
         self, nodes: Sequence[Node], time: int
-    ) -> Tuple[List[FlowClass], Set[int], RoundReport]:
+    ) -> Tuple[List[Tuple[FlowClass, FlowClass]], Set[int], RoundReport]:
         """Compute the class splits caused by updating ``nodes`` at ``time``."""
         report = RoundReport(time=time, nodes=tuple(nodes))
         round_set = set(nodes)
@@ -356,7 +377,7 @@ class IntervalTracker:
             applied_after[node] = time
         config = self.instance.config_at(applied_after, time)
 
-        pieces: List[FlowClass] = []
+        pieces: List[Tuple[FlowClass, FlowClass]] = []
         removed: Set[int] = set()
         # Only classes whose trajectory touches a round switch can split.
         candidates: Set[int] = set()
@@ -370,63 +391,122 @@ class IntervalTracker:
             if split is None:
                 continue
             removed.add(cid)
-            pieces.extend(split)
+            pieces.extend((piece, cls) for piece in split)
         return pieces, removed, report
 
     def _check_new_congestion(
-        self, pieces: List[FlowClass], removed: Set[int], report: RoundReport
+        self,
+        pieces: List[Tuple[FlowClass, FlowClass]],
+        removed: Set[int],
+        report: RoundReport,
     ) -> None:
         """Sweep only the links whose load pattern the round changed.
 
         Split pieces partition their parent's emission interval, so loads on
         shared prefix links are unchanged; only links on the freshly routed
-        suffixes (``fresh_from`` onward) can newly congest.
+        suffixes (``fresh_from`` onward) can newly congest.  The fresh
+        departure intervals are collected per link in one pass over the
+        suffixes; prefix contributions on those same links (a link that is
+        fresh for one piece may carry another piece's unchanged prefix load)
+        are then looked up in each parent's cached position index instead of
+        building a position index per piece -- parents are committed classes
+        whose index is built once and reused across every probe.  Links
+        whose combined committed + fresh load cannot exceed capacity are
+        skipped without a sweep.
         """
-        touched: Dict[LinkKey, None] = {}
-        for piece in pieces:
+        demand = self.instance.demand
+        extras: Dict[LinkKey, List[Tuple[Optional[int], Optional[int], float]]] = {}
+        for piece, _parent in pieces:
             nodes = piece.nodes
+            offsets = piece.offsets
+            lo0, hi0 = piece.lo, piece.hi
             for i in range(piece.fresh_from, len(nodes) - 1):
-                touched[(nodes[i], nodes[i + 1])] = None
-        network = self.instance.network
-        for link in touched:
-            intervals = self._link_intervals(link, exclude=removed, extra=pieces)
+                lo = None if lo0 is None else lo0 + offsets[i]
+                hi = None if hi0 is None else hi0 + offsets[i]
+                extras.setdefault((nodes[i], nodes[i + 1]), []).append(
+                    (lo, hi, demand)
+                )
+        if not extras:
+            return
+        # Prefix positions (< fresh_from) match the parent's trajectory
+        # index for index, so the parent's cached link positions answer
+        # "where does this piece load a touched link" without scanning the
+        # piece's (possibly very long) trajectory.
+        for piece, parent in pieces:
+            parent_positions = parent.link_positions()
+            fresh_from = piece.fresh_from
+            offsets = piece.offsets
+            lo0, hi0 = piece.lo, piece.hi
+            for link, fresh_list in extras.items():
+                for i in parent_positions.get(link, ()):
+                    if i >= fresh_from:
+                        break  # ascending; the rest are fresh (already added)
+                    lo = None if lo0 is None else lo0 + offsets[i]
+                    hi = None if hi0 is None else hi0 + offsets[i]
+                    fresh_list.append((lo, hi, demand))
+        capacities = self.instance.network.capacity_map()
+        for link, fresh in extras.items():
+            capacity = capacities[link]
+            committed = self._committed_entries(link)
+            if not committed and len(fresh) * demand <= capacity + _EPS:
+                continue  # combined fresh load cannot exceed capacity
+            intervals = [
+                (lo, hi, load)
+                for cid, lo, hi, load in committed
+                if cid is None or cid not in removed
+            ]
+            intervals.extend(fresh)
             report.congestion.extend(
-                _sweep_link(link, network.capacity(*link), intervals, self.t0)
+                _sweep_link(link, capacity, intervals, self.t0)
             )
 
-    def _link_intervals(
-        self,
-        link: LinkKey,
-        exclude: Optional[Set[int]] = None,
-        extra: Optional[List[FlowClass]] = None,
-    ) -> List[Tuple[Optional[int], Optional[int], float]]:
+    def _committed_entries(self, link: LinkKey) -> Tuple[_Entry, ...]:
+        """The committed load contributions on ``link`` (memoised).
+
+        Valid until the next committed round (``apply_round`` clears the
+        cache); candidate-round probes between commits therefore assemble
+        their interval lists from this cache instead of re-walking the
+        index and every class's link positions.
+        """
+        memo = self._entry_memo.get(link)
+        if memo is not None:
+            return memo
         demand = self.instance.demand
-        intervals: List[Tuple[Optional[int], Optional[int], float]] = []
-        for cid in self._link_index.get(link, ()):  # committed classes
-            if cid not in self._alive:
-                continue
-            if exclude and cid in exclude:
+        alive = self._alive
+        entries: List[_Entry] = []
+        for cid in self._link_index.get(link, ()):  # stale ids filtered below
+            if cid not in alive:
                 continue
             cls = self._classes[cid]
             for index in cls.link_positions().get(link, ()):
                 lo, hi = cls.departure_interval(index)
-                intervals.append((lo, hi, demand))
-        for cls in extra or ():
-            for index in cls.link_positions().get(link, ()):
-                lo, hi = cls.departure_interval(index)
-                intervals.append((lo, hi, demand))
-        intervals.extend(self.background.get(link, ()))
-        return intervals
+                entries.append((cid, lo, hi, demand))
+        for lo, hi, load in self.background.get(link, ()):
+            entries.append((None, lo, hi, load))
+        frozen = tuple(entries)
+        self._entry_memo[link] = frozen
+        return frozen
+
+    def _committed_spans(self, link: LinkKey) -> Tuple[CongestionSpan, ...]:
+        """Congestion spans of the committed state on ``link`` (memoised)."""
+        memo = self._span_memo.get(link)
+        if memo is not None:
+            return memo
+        intervals = [
+            (lo, hi, load) for _, lo, hi, load in self._committed_entries(link)
+        ]
+        capacity = self.instance.network.capacity_map()[link]
+        spans = tuple(_sweep_link(link, capacity, intervals, self.t0))
+        self._span_memo[link] = spans
+        return spans
 
     def _add_class(self, cls: FlowClass) -> int:
         cid = self._next_id
         self._next_id += 1
         self._classes[cid] = cls
         self._alive.add(cid)
-        for _, link in cls.links():
-            self._link_index.setdefault(link, []).append(cid)
-        for node in cls.nodes:
-            self._node_index.setdefault(node, []).append(cid)
+        self._link_index.add_all(cls.link_positions(), cid)
+        self._node_index.add_all(cls.nodes, cid)
         return cid
 
 
@@ -456,9 +536,12 @@ def _make_class(
     loop_node: Optional[Node] = None,
     fresh_from: int = 0,
 ) -> FlowClass:
+    delays = instance.network.delay_map()
     offsets = [0]
+    acc = 0
     for src, dst in zip(nodes, nodes[1:]):
-        offsets.append(offsets[-1] + instance.network.delay(src, dst))
+        acc += delays[(src, dst)]
+        offsets.append(acc)
     return FlowClass(
         lo=lo,
         hi=hi,

@@ -64,6 +64,7 @@ def optimal_schedule(
     time_budget: Optional[float] = None,
     max_branch_width: int = 12,
     max_horizon: Optional[int] = None,
+    node_budget: Optional[int] = None,
 ) -> OptimalResult:
     """Find a minimum-makespan congestion- and loop-free schedule.
 
@@ -77,6 +78,12 @@ def optimal_schedule(
             (subsets are enumerated, so this bounds the branching factor).
         max_horizon: Latest step (relative to ``t0``) any update may take;
             defaults to a generous function of the instance size.
+        node_budget: Cap on explored search nodes (``None`` = unlimited).
+            Unlike ``time_budget`` this is *deterministic*: the same
+            instance gives the same result on any machine or under any
+            load, which is what parallel sweeps need for byte-identical
+            records.  Exhaustion returns the incumbent with
+            ``proven=False``, exactly like a timeout.
 
     Returns:
         An :class:`OptimalResult`.
@@ -121,6 +128,9 @@ def optimal_schedule(
         if time_budget is not None and time.monotonic() - started > time_budget:
             timed_out = True
             return
+        if node_budget is not None and explored >= node_budget:
+            timed_out = True
+            return
         explored += 1
         if not pending:
             makespan = 0 if last_update is None else last_update - t0 + 1
@@ -150,9 +160,15 @@ def optimal_schedule(
                 if not tracker.preview_round(list(subset), t).ok:
                     continue
                 applied_any = True
+                remaining = tuple(n for n in pending if n not in subset)
+                # Cheap bound before the (comparatively expensive) clone:
+                # with switches left over, the child's earliest possible
+                # completion updates at t + 1, for a makespan of at least
+                # t + 2 - t0 -- prune here instead of one level down.
+                if remaining and t + 2 - t0 >= best_makespan:
+                    continue
                 child = tracker.clone()
                 child.apply_round(list(subset), t)
-                remaining = tuple(n for n in pending if n not in subset)
                 dfs(child, remaining, t + 1, t)
                 if timed_out:
                     return

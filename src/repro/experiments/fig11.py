@@ -7,13 +7,14 @@ OPT within 13 -- Chronus achieves near-optimal update times.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.stats import cdf_points, percentile
 from repro.analysis.timeseries import render_table
 from repro.core.greedy import greedy_schedule
 from repro.core.instance import segmented_instance
 from repro.core.optimal import optimal_schedule
+from repro.runtime import ParallelRunner
 
 
 @dataclass
@@ -53,11 +54,34 @@ class Fig11Result:
         return table + summary
 
 
+@dataclass(frozen=True)
+class _SampleItem:
+    """One candidate instance of the Fig. 11 sample collection."""
+
+    switch_count: int
+    seed: int
+    opt_budget: float
+
+
+def _sample_one(item: _SampleItem) -> Optional[Tuple[int, int]]:
+    """Worker: ``(chronus makespan, opt makespan)``, or ``None`` when the
+    instance does not contribute (greedy infeasible / OPT empty-handed)."""
+    instance = segmented_instance(item.switch_count, seed=item.seed)
+    greedy = greedy_schedule(instance)
+    if not greedy.feasible:
+        return None
+    opt = optimal_schedule(instance, time_budget=item.opt_budget)
+    if opt.schedule is None:
+        return None
+    return (greedy.schedule.makespan, opt.schedule.makespan)
+
+
 def run_fig11(
     switch_count: int = 400,
     instances: int = 30,
     base_seed: int = 5,
     opt_budget: float = 2.0,
+    max_workers: int = 1,
 ) -> Fig11Result:
     """Collect update-time samples for both schemes.
 
@@ -65,24 +89,38 @@ def run_fig11(
     reversal) workload; OPT runs under an anytime budget and contributes
     its incumbent.  Only feasible instances contribute (the paper's update
     time is defined for completed congestion-free updates).
+
+    Candidates are evaluated in index-ordered batches (parallel when
+    ``max_workers > 1``) but always *consumed* serially in index order, so
+    the sample -- the first ``instances`` contributing indices within the
+    attempt budget -- is identical for any worker count; a parallel run
+    may merely evaluate a few candidates past the stopping point.
     """
     chronus_times: List[int] = []
     opt_times: List[int] = []
-    index = 0
+    max_attempts = instances * 10
+    runner = ParallelRunner(max_workers=max_workers, chunk_size=1)
+    batch_size = max(1, max_workers) * 2
     attempts = 0
-    while len(chronus_times) < instances and attempts < instances * 10:
-        attempts += 1
-        seed = base_seed * 11_000_003 + switch_count * 17 + index
-        index += 1
-        instance = segmented_instance(switch_count, seed=seed)
-        greedy = greedy_schedule(instance)
-        if not greedy.feasible:
-            continue
-        opt = optimal_schedule(instance, time_budget=opt_budget)
-        if opt.schedule is None:
-            continue
-        chronus_times.append(greedy.schedule.makespan)
-        opt_times.append(opt.schedule.makespan)
+    index = 0
+    while len(chronus_times) < instances and attempts < max_attempts:
+        batch = [
+            _SampleItem(
+                switch_count=switch_count,
+                seed=base_seed * 11_000_003 + switch_count * 17 + (index + i),
+                opt_budget=opt_budget,
+            )
+            for i in range(min(batch_size, max_attempts - attempts))
+        ]
+        index += len(batch)
+        for sample in runner.map(_sample_one, batch):
+            attempts += 1
+            if sample is None:
+                continue
+            chronus_times.append(sample[0])
+            opt_times.append(sample[1])
+            if len(chronus_times) >= instances:
+                break
     return Fig11Result(chronus_times=chronus_times, opt_times=opt_times)
 
 

@@ -45,14 +45,20 @@ def run_fig7(
     instances_per_size: int = 20,
     base_seed: int = 1,
     opt_budget: float = 1.0,
+    max_workers: int = 1,
 ) -> Fig7Result:
-    """Run the sweep and aggregate Fig. 7's percentages."""
+    """Run the sweep and aggregate Fig. 7's percentages.
+
+    ``max_workers > 1`` fans the sweep over a process pool; the records
+    (and hence the figure) are identical to a serial run.
+    """
     records = run_sweep(
         switch_counts,
         instances_per_size=instances_per_size,
         base_seed=base_seed,
         schemes=SCHEMES,
         opt_budget=opt_budget,
+        max_workers=max_workers,
     )
     percentages = {
         scheme: [

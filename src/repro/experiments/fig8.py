@@ -39,13 +39,19 @@ def run_fig8(
     switch_counts: Sequence[int] = (10, 20, 30, 40, 50, 60),
     instances_per_size: int = 20,
     base_seed: int = 2,
+    max_workers: int = 1,
 ) -> Fig8Result:
-    """Run the sweep and sum congested time-extended links per scheme."""
+    """Run the sweep and sum congested time-extended links per scheme.
+
+    ``max_workers > 1`` fans the sweep over a process pool; the records
+    (and hence the figure) are identical to a serial run.
+    """
     records = run_sweep(
         switch_counts,
         instances_per_size=instances_per_size,
         base_seed=base_seed,
         schemes=SCHEMES,
+        max_workers=max_workers,
     )
     congested = {
         scheme: [

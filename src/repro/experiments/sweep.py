@@ -26,11 +26,22 @@ from repro.analysis.metrics import evaluate_schedule
 from repro.core.greedy import greedy_schedule
 from repro.core.instance import UpdateInstance, random_instance, segmented_instance
 from repro.core.optimal import optimal_schedule
+from repro.runtime import ParallelRunner
 from repro.updates.order_replacement import (
     greedy_loop_free_rounds,
     minimize_rounds,
     realize_round_times,
 )
+
+
+def sweep_seed(base_seed: int, switch_count: int, index: int) -> int:
+    """The per-instance seed of sweep item ``index`` at one network size.
+
+    This formula is part of the harness contract: figures cite seeds, and
+    parallel runs must regenerate exactly the instances a serial run would.
+    Do not change it without regenerating every recorded result.
+    """
+    return base_seed * 1_000_003 + switch_count * 10_007 + index
 
 
 @dataclass(frozen=True)
@@ -59,8 +70,17 @@ def run_instance(
     opt_budget: float = 1.0,
     or_budget: float = 0.5,
     or_skew: int = 3,
+    opt_node_budget: Optional[int] = None,
+    or_node_budget: Optional[int] = None,
 ) -> Dict[str, InstanceOutcome]:
-    """Evaluate the requested schemes on one instance."""
+    """Evaluate the requested schemes on one instance.
+
+    ``opt_node_budget`` / ``or_node_budget`` bound OPT and OR by explored
+    search nodes instead of (or in addition to) wall clock -- deterministic
+    budgets, so outcomes stop depending on machine load (see
+    :func:`repro.core.optimal.optimal_schedule` and
+    :func:`repro.updates.order_replacement.minimize_rounds`).
+    """
     rng = random.Random(seed ^ 0x5EED)
     outcomes: Dict[str, InstanceOutcome] = {}
 
@@ -75,7 +95,9 @@ def run_instance(
         )
 
     if "opt" in schemes:
-        result = optimal_schedule(instance, time_budget=opt_budget)
+        result = optimal_schedule(
+            instance, time_budget=opt_budget, node_budget=opt_node_budget
+        )
         if result.schedule is not None:
             metrics = evaluate_schedule(instance, result.schedule)
             outcomes["opt"] = InstanceOutcome(
@@ -98,7 +120,9 @@ def run_instance(
             )
 
     if "or" in schemes:
-        rounds = minimize_rounds(instance, time_budget=or_budget).rounds
+        rounds = minimize_rounds(
+            instance, time_budget=or_budget, node_budget=or_node_budget
+        ).rounds
         realized = realize_round_times(rounds, rng=rng, max_skew=or_skew)
         metrics = evaluate_schedule(instance, realized)
         outcomes["or"] = InstanceOutcome(
@@ -126,16 +150,69 @@ def local_reroute_share(switch_count: int) -> float:
 
 
 def mixed_instance(count: int, seed: int) -> UpdateInstance:
-    """One instance from the mixed local/global reroute workload."""
+    """One instance from the mixed local/global reroute workload.
+
+    Every random draw descends from ``seed`` alone -- the workload coin
+    flip uses one :class:`random.Random` and the topology generator gets a
+    fresh one -- so the instance is identical no matter which process (or
+    import order) builds it.
+    """
     rng = random.Random(seed)
     if rng.random() < local_reroute_share(count):
         return segmented_instance(
             count,
-            seed=seed,
+            rng=random.Random(seed),
             segments=max(1, count // 15),
             max_segment_length=6,
         )
-    return random_instance(count, seed=seed)
+    return random_instance(count, rng=random.Random(seed))
+
+
+@dataclass(frozen=True)
+class SweepItem:
+    """Self-contained description of one sweep evaluation.
+
+    Carries everything a worker process needs to regenerate and evaluate
+    the instance; no ambient state crosses the process boundary.
+    """
+
+    switch_count: int
+    seed: int
+    schemes: tuple
+    opt_budget: float
+    workload: str = "mixed"
+    max_delay: Optional[int] = None
+    detour_fraction: float = 1.0
+    or_budget: float = 0.5
+    opt_node_budget: Optional[int] = None
+    or_node_budget: Optional[int] = None
+
+    def build_instance(self) -> UpdateInstance:
+        if self.workload == "mixed":
+            return mixed_instance(self.switch_count, self.seed)
+        if self.workload == "permutation":
+            return random_instance(
+                self.switch_count,
+                rng=random.Random(self.seed),
+                max_delay=self.max_delay,
+                detour_fraction=self.detour_fraction,
+            )
+        raise ValueError(f"unknown workload {self.workload!r}")
+
+
+def evaluate_sweep_item(item: SweepItem) -> SweepRecord:
+    """Worker function: regenerate one instance and evaluate all schemes."""
+    record = SweepRecord(switch_count=item.switch_count, seed=item.seed)
+    record.outcomes = run_instance(
+        item.build_instance(),
+        item.seed,
+        schemes=item.schemes,
+        opt_budget=item.opt_budget,
+        or_budget=item.or_budget,
+        opt_node_budget=item.opt_node_budget,
+        or_node_budget=item.or_node_budget,
+    )
+    return record
 
 
 def run_sweep(
@@ -147,37 +224,58 @@ def run_sweep(
     workload: str = "mixed",
     max_delay: Optional[int] = None,
     detour_fraction: float = 1.0,
+    max_workers: int = 1,
+    runner: Optional[ParallelRunner] = None,
+    or_budget: float = 0.5,
+    opt_node_budget: Optional[int] = None,
+    or_node_budget: Optional[int] = None,
 ) -> List[SweepRecord]:
     """Generate and evaluate random instances for each network size.
 
     Paper scale: sizes 10..60 step 10, 500 instances per run, >= 30 runs.
     Defaults here are laptop-scale; raise ``instances_per_size`` to match.
 
+    Every instance descends from its :func:`sweep_seed` alone, so serial
+    and parallel runs produce byte-identical records -- with one caveat:
+    ``opt_budget``/``or_budget`` are *wall-clock* budgets, and a budget
+    that expires mid-search in one run but not the other changes that
+    instance's outcome.  For strict record identity (tests, the bench
+    gate) bound OPT and OR with the deterministic ``opt_node_budget`` /
+    ``or_node_budget`` instead and size the wall-clock budgets so they
+    never bind.
+
     Args:
         workload: ``"mixed"`` (default, see :func:`mixed_instance`) or
             ``"permutation"`` (every final path reshuffles the whole chain).
+        max_workers: Worker processes for the sweep; results are identical
+            to a serial run because every item is seeded independently.
+        runner: Pre-configured :class:`ParallelRunner` (overrides
+            ``max_workers``).
+        or_budget: Wall-clock budget for OR's round minimisation.
+        opt_node_budget: Deterministic explored-node cap for OPT (see
+            :func:`run_instance`).
+        or_node_budget: Deterministic explored-node cap for OR's round
+            minimisation.
     """
-    records: List[SweepRecord] = []
-    for count in switch_counts:
-        for index in range(instances_per_size):
-            seed = base_seed * 1_000_003 + count * 10_007 + index
-            if workload == "mixed":
-                instance = mixed_instance(count, seed)
-            elif workload == "permutation":
-                instance = random_instance(
-                    count,
-                    seed=seed,
-                    max_delay=max_delay,
-                    detour_fraction=detour_fraction,
-                )
-            else:
-                raise ValueError(f"unknown workload {workload!r}")
-            record = SweepRecord(switch_count=count, seed=seed)
-            record.outcomes = run_instance(
-                instance, seed, schemes=schemes, opt_budget=opt_budget
-            )
-            records.append(record)
-    return records
+    items = [
+        SweepItem(
+            switch_count=count,
+            seed=sweep_seed(base_seed, count, index),
+            schemes=tuple(schemes),
+            opt_budget=opt_budget,
+            workload=workload,
+            max_delay=max_delay,
+            detour_fraction=detour_fraction,
+            or_budget=or_budget,
+            opt_node_budget=opt_node_budget,
+            or_node_budget=or_node_budget,
+        )
+        for count in switch_counts
+        for index in range(instances_per_size)
+    ]
+    if runner is None:
+        runner = ParallelRunner(max_workers=max_workers)
+    return runner.map(evaluate_sweep_item, items)
 
 
 def congestion_free_percentage(

@@ -69,6 +69,8 @@ class Network:
         self._links: Dict[Tuple[Node, Node], Link] = {}
         self._out: Dict[Node, List[Node]] = {}
         self._in: Dict[Node, List[Node]] = {}
+        self._delay_map: Optional[Dict[Tuple[Node, Node], int]] = None
+        self._capacity_map: Optional[Dict[Tuple[Node, Node], float]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -161,6 +163,26 @@ class Network:
     def delay(self, src: Node, dst: Node) -> int:
         """Delay ``sigma_{src,dst}``; raises ``KeyError`` if absent."""
         return self.link(src, dst).delay
+
+    def delay_map(self) -> Dict[Tuple[Node, Node], int]:
+        """Flat ``(src, dst) -> delay`` dict for hot-path lookups.
+
+        Rebuilt lazily whenever links were added since the last call;
+        callers must not mutate the returned dict.
+        """
+        cached = self._delay_map
+        if cached is None or len(cached) != len(self._links):
+            cached = {key: link.delay for key, link in self._links.items()}
+            self._delay_map = cached
+        return cached
+
+    def capacity_map(self) -> Dict[Tuple[Node, Node], float]:
+        """Flat ``(src, dst) -> capacity`` dict (see :meth:`delay_map`)."""
+        cached = self._capacity_map
+        if cached is None or len(cached) != len(self._links):
+            cached = {key: link.capacity for key, link in self._links.items()}
+            self._capacity_map = cached
+        return cached
 
     def successors(self, node: Node) -> List[Node]:
         """Heads of out-links of ``node``."""

@@ -1,0 +1,9 @@
+"""Runtime layer: parallel execution of experiment sweeps.
+
+See :mod:`repro.runtime.parallel` for the design notes; DESIGN.md §7 for
+how the experiments use it.
+"""
+
+from repro.runtime.parallel import ParallelRunner, available_cpus, fork_available
+
+__all__ = ["ParallelRunner", "available_cpus", "fork_available"]

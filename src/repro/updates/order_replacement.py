@@ -61,6 +61,7 @@ def minimize_rounds(
     instance: UpdateInstance,
     time_budget: Optional[float] = None,
     max_branch_width: int = 16,
+    node_budget: Optional[int] = None,
 ) -> RoundMinimizationResult:
     """Minimise the number of loop-free update rounds by branch and bound.
 
@@ -75,6 +76,11 @@ def minimize_rounds(
         time_budget: Seconds before returning the incumbent (``None`` =
             solve to optimality).
         max_branch_width: Cap on per-round subset enumeration.
+        node_budget: Deterministic cap on explored search nodes.  Unlike
+            ``time_budget``, exhausting it is a pure function of the
+            instance, so results are reproducible across machines and
+            under CPU contention (the parallel-vs-serial bench identity
+            gate relies on this).
     """
     started = time.monotonic()
     deadline = None if time_budget is None else started + time_budget
@@ -90,6 +96,9 @@ def minimize_rounds(
         if timed_out:
             return
         if time_budget is not None and time.monotonic() - started > time_budget:
+            timed_out = True
+            return
+        if node_budget is not None and explored >= node_budget:
             timed_out = True
             return
         explored += 1
@@ -152,6 +161,7 @@ def realize_round_times(
     rng: Optional[random.Random] = None,
     max_skew: int = 3,
     t0: int = 0,
+    seed: Optional[int] = None,
 ) -> UpdateSchedule:
     """Realised asynchronous update times of a round-based execution.
 
@@ -162,16 +172,18 @@ def realize_round_times(
 
     Args:
         rounds: Round partition.
-        rng: Random source.
+        rng: Random source; takes precedence over ``seed``.
         max_skew: Maximum extra time steps a switch may lag within a round.
         t0: Start time.
+        seed: Seed for a fresh ``random.Random`` when ``rng`` is omitted,
+            making realisations reproducible across processes.
 
     Returns:
         The realised :class:`UpdateSchedule` (generally *not* loop-free
         against in-flight traffic, which is exactly OR's weakness).
     """
     if rng is None:
-        rng = random.Random()
+        rng = random.Random(seed)
     times: Dict[Node, int] = {}
     start = t0
     for round_nodes in rounds:

@@ -54,6 +54,7 @@ class TestSweep:
         assert outcomes["opt"].congestion_free
 
 
+@pytest.mark.slow
 class TestFig7:
     def test_chronus_at_least_matches_or(self):
         result = fig7.run_fig7(
@@ -67,6 +68,7 @@ class TestFig7:
         assert "Fig. 7" in result.render()
 
 
+@pytest.mark.slow
 class TestFig8:
     def test_chronus_congests_fewer_timed_links(self):
         result = fig8.run_fig8(switch_counts=(30,), instances_per_size=5)
@@ -88,6 +90,7 @@ class TestFig9:
         assert 540 <= result.tp_means[300] <= 660
 
 
+@pytest.mark.slow
 class TestFig10:
     def test_chronus_fast_exact_solvers_cut_off(self):
         result = fig10.run_fig10(switch_counts=(60, 600), cutoff=1.0)
@@ -100,6 +103,7 @@ class TestFig10:
         assert "cutoff" in result.render()
 
 
+@pytest.mark.slow
 class TestFig11:
     def test_chronus_near_optimal_update_time(self):
         result = fig11.run_fig11(switch_count=40, instances=5, opt_budget=1.0)

@@ -1,0 +1,97 @@
+"""ParallelRunner: ordering, determinism, fallbacks, and sweep identity."""
+
+import pytest
+
+from repro.experiments.sweep import SweepItem, evaluate_sweep_item, run_sweep
+from repro.runtime import ParallelRunner, available_cpus, fork_available
+from repro.runtime.parallel import _run_chunk
+
+
+def _square(x):
+    return x * x
+
+
+def _flaky(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+class TestParallelRunnerMechanics:
+    def test_serial_map(self):
+        assert ParallelRunner(max_workers=1).map(_square, [3, -1, 0]) == [9, 1, 0]
+
+    def test_empty_items(self):
+        assert ParallelRunner(max_workers=4).map(_square, []) == []
+
+    def test_parallel_map_preserves_order(self):
+        runner = ParallelRunner(max_workers=4, chunk_size=2)
+        items = list(range(17))
+        assert runner.map(_square, items) == [x * x for x in items]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(40))
+        serial = ParallelRunner(max_workers=1).map(_square, items)
+        parallel = ParallelRunner(max_workers=4).map(_square, items)
+        assert serial == parallel
+
+    def test_unpicklable_function_falls_back_in_process(self):
+        runner = ParallelRunner(max_workers=4)
+        doubled = runner.map(lambda x: 2 * x, [1, 2, 3])
+        assert doubled == [2, 4, 6]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            ParallelRunner(max_workers=1).map(_flaky, [1, 2, 3])
+        if fork_available():
+            with pytest.raises(ValueError, match="boom"):
+                ParallelRunner(max_workers=2, chunk_size=1).map(_flaky, [1, 2, 3])
+
+    def test_chunking_covers_every_item_exactly_once(self):
+        runner = ParallelRunner(max_workers=3, chunk_size=4)
+        chunks = runner._chunks(list(range(10)))
+        flattened = [x for chunk in chunks for x in chunk]
+        assert flattened == list(range(10))
+        assert all(len(chunk) <= 4 for chunk in chunks)
+
+    def test_run_chunk_helper(self):
+        assert _run_chunk(_square, [2, 5]) == [4, 25]
+
+    def test_available_cpus_positive(self):
+        assert available_cpus() >= 1
+
+
+class TestSweepDeterminism:
+    # Deterministic OPT/OR bounds: record identity must not depend on wall
+    # clock (see run_sweep's docstring).
+    KWARGS = dict(
+        instances_per_size=8,
+        base_seed=9,
+        opt_budget=30.0,
+        or_budget=10.0,
+        opt_node_budget=300,
+        or_node_budget=200,
+    )
+
+    def test_parallel_records_identical_to_serial(self):
+        serial = run_sweep([10, 12], **self.KWARGS)
+        parallel = run_sweep([10, 12], max_workers=4, **self.KWARGS)
+        assert serial == parallel
+
+    def test_rerun_is_reproducible(self):
+        first = run_sweep([10], **self.KWARGS)
+        second = run_sweep([10], **self.KWARGS)
+        assert first == second
+
+    def test_item_evaluation_matches_inline_sweep(self):
+        records = run_sweep([10], **self.KWARGS)
+        item = SweepItem(
+            switch_count=10,
+            seed=records[0].seed,
+            schemes=("chronus", "or", "opt"),
+            opt_budget=30.0,
+            or_budget=10.0,
+            opt_node_budget=300,
+            or_node_budget=200,
+        )
+        assert evaluate_sweep_item(item) == records[0]
