@@ -1,13 +1,20 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-full
+.PHONY: test test-fast bench bench-full validate validate-fast
 
-test:            ## full tier-1 suite
+test:            ## full tier-1 suite + quick conformance gate
 	$(PYTHON) -m pytest -x -q
+	$(PYTHON) scripts/validate.py --quick --quiet
 
 test-fast:       ## tier-1 without the slow markers
 	$(PYTHON) -m pytest -x -q -m "not slow"
+
+validate:        ## plan-conformance gate: 50 seeded instances x 4 protocols
+	$(PYTHON) scripts/validate.py
+
+validate-fast:   ## quick gate (the `make test` configuration)
+	$(PYTHON) scripts/validate.py --quick
 
 bench:           ## quick perf harness; appends to BENCH_sweep.json, gates on parallel slowdown
 	$(PYTHON) scripts/bench.py --quick

@@ -67,6 +67,7 @@ def main() -> None:
         controller, plane, instance, schedule, time_unit=1.0, start_at=6.0
     )
     sim.run(until=30.0)
+    monitor.stop()
     chronus_peak = max(plane.links[l].peak_utilization() for l in plane.links)
     print(f"Chronus: schedule {schedule}")
     print(f"  peak link utilisation {chronus_peak:.2f} / {CAPACITY_MBPS:.0f} Mbps, "
@@ -78,6 +79,7 @@ def main() -> None:
     plan = OrderReplacementProtocol(rng=rng).plan(instance)
     perform_round_update(controller, plane, instance, plan.schedule, time_unit=1.0)
     sim.run(until=30.0)
+    monitor.stop()
     or_peak = max(plane.links[l].peak_utilization() for l in plane.links)
     congested = {
         f"{a}->{b}": plane.links[(a, b)].congested_seconds()

@@ -84,6 +84,7 @@ def perform_timed_update(
     time_unit: float = 1.0,
     start_at: Optional[float] = None,
     lead_time: float = 0.5,
+    poll_interval: Optional[float] = None,
 ) -> ExecutionTrace:
     """Ship scheduled FlowMods ahead of time; switches fire them on their clocks.
 
@@ -96,6 +97,8 @@ def perform_timed_update(
         start_at: True time of schedule step ``t0`` (default: now +
             ``lead_time`` so messages arrive before their execution times).
         lead_time: Shipping headroom in seconds.
+        poll_interval: Re-poll period while FlowMods are still pending
+            (default ``max(lead_time, time_unit) / 2``).
 
     Returns:
         An :class:`ExecutionTrace` (``applied`` fills in as the simulation
@@ -104,6 +107,8 @@ def perform_timed_update(
     sim = plane.sim
     if start_at is None:
         start_at = sim.now + lead_time
+    if poll_interval is None:
+        poll_interval = max(lead_time, time_unit) / 2 or 0.5
     trace = ExecutionTrace()
     xids: Dict[Node, int] = {}
     for node, step in schedule.items():
@@ -115,11 +120,24 @@ def perform_timed_update(
         controller.send_flow_mod(node, message)
 
     def harvest() -> None:
+        # A switch whose delivery or execution runs past its planned time
+        # (control-channel delay beyond the lead time, clock skew, a slow
+        # pipeline) must not be dropped from the trace: keep polling until
+        # every xid has resolved, then pin ``finished_at`` to the last
+        # actual apply instead of the first harvest's wall clock.
+        pending = False
         for node, xid in xids.items():
+            if node in trace.applied:
+                continue
             applied = controller.apply_time(node, xid)
             if applied is not None:
                 trace.applied[node] = applied
-        trace.finished_at = max(trace.applied.values(), default=sim.now)
+            else:
+                pending = True
+        if pending:
+            sim.schedule_after(poll_interval, harvest)
+        else:
+            trace.finished_at = max(trace.applied.values(), default=sim.now)
 
     last = max(trace.planned.values(), default=sim.now)
     sim.schedule_at(last + lead_time, harvest)

@@ -152,6 +152,7 @@ def _run_scheme(
         raise ValueError(f"unknown scheme {scheme!r}")
 
     sim.run(until=duration)
+    monitor.stop()  # drain the poll loop so later open-ended runs terminate
     return monitor, plane
 
 

@@ -46,12 +46,21 @@ def sweep_seed(base_seed: int, switch_count: int, index: int) -> int:
 
 @dataclass(frozen=True)
 class InstanceOutcome:
-    """One scheme's result on one instance."""
+    """One scheme's result on one instance.
+
+    Attributes:
+        verifier_agrees: ``None`` when the sweep ran without conformance
+            checking; otherwise whether the independent verifier
+            (:mod:`repro.validate.verifier`) reproduced this outcome's
+            consistency numbers exactly.  A ``False`` here means the
+            figures built from this record are measuring a bug.
+    """
 
     scheme: str
     congestion_free: bool
     congested_timed_links: int
     makespan: Optional[int]
+    verifier_agrees: Optional[bool] = None
 
 
 @dataclass
@@ -63,6 +72,27 @@ class SweepRecord:
     outcomes: Dict[str, InstanceOutcome] = field(default_factory=dict)
 
 
+def _verifier_agrees(instance: UpdateInstance, schedule, metrics) -> bool:
+    """Does the independent verifier reproduce the tracker's numbers?
+
+    Compares the consistency quantities the figures aggregate: congestion
+    freedom, the congested time-extended link count, and loop/drop
+    freedom.  (Loop and black-hole *event counts* are representation
+    dependent -- the tracker records one event per surviving emission
+    interval, the verifier one per emission -- so only their emptiness is
+    comparable.)
+    """
+    from repro.validate.verifier import verify_schedule
+
+    verdict = verify_schedule(instance, schedule)
+    return (
+        verdict.congestion_free == metrics.congestion_free
+        and verdict.congested_timed_links == metrics.congested_timed_links
+        and verdict.loop_free == metrics.loop_free
+        and verdict.drop_free == (metrics.blackhole_events == 0)
+    )
+
+
 def run_instance(
     instance: UpdateInstance,
     seed: int,
@@ -72,6 +102,7 @@ def run_instance(
     or_skew: int = 3,
     opt_node_budget: Optional[int] = None,
     or_node_budget: Optional[int] = None,
+    verify: bool = False,
 ) -> Dict[str, InstanceOutcome]:
     """Evaluate the requested schemes on one instance.
 
@@ -80,9 +111,18 @@ def run_instance(
     budgets, so outcomes stop depending on machine load (see
     :func:`repro.core.optimal.optimal_schedule` and
     :func:`repro.updates.order_replacement.minimize_rounds`).
+
+    With ``verify=True`` every evaluated schedule is re-checked by the
+    independent verifier and the outcome's ``verifier_agrees`` flag is
+    filled in (see :class:`InstanceOutcome`).
     """
     rng = random.Random(seed ^ 0x5EED)
     outcomes: Dict[str, InstanceOutcome] = {}
+
+    def conformance(schedule, metrics) -> Optional[bool]:
+        if not verify:
+            return None
+        return _verifier_agrees(instance, schedule, metrics)
 
     if "chronus" in schemes:
         result = greedy_schedule(instance)
@@ -92,6 +132,7 @@ def run_instance(
             congestion_free=metrics.congestion_free and result.feasible,
             congested_timed_links=metrics.congested_timed_links,
             makespan=metrics.makespan,
+            verifier_agrees=conformance(result.schedule, metrics),
         )
 
     if "opt" in schemes:
@@ -105,6 +146,7 @@ def run_instance(
                 congestion_free=metrics.congestion_free,
                 congested_timed_links=metrics.congested_timed_links,
                 makespan=metrics.makespan,
+                verifier_agrees=conformance(result.schedule, metrics),
             )
         else:
             # Infeasible (or budget ran out): execute best-effort loop-free
@@ -117,6 +159,7 @@ def run_instance(
                 congestion_free=False,
                 congested_timed_links=metrics.congested_timed_links,
                 makespan=metrics.makespan,
+                verifier_agrees=conformance(fallback, metrics),
             )
 
     if "or" in schemes:
@@ -130,6 +173,7 @@ def run_instance(
             congestion_free=metrics.congestion_free,
             congested_timed_links=metrics.congested_timed_links,
             makespan=metrics.makespan,
+            verifier_agrees=conformance(realized, metrics),
         )
 
     return outcomes
@@ -186,6 +230,7 @@ class SweepItem:
     or_budget: float = 0.5
     opt_node_budget: Optional[int] = None
     or_node_budget: Optional[int] = None
+    verify: bool = False
 
     def build_instance(self) -> UpdateInstance:
         if self.workload == "mixed":
@@ -211,6 +256,7 @@ def evaluate_sweep_item(item: SweepItem) -> SweepRecord:
         or_budget=item.or_budget,
         opt_node_budget=item.opt_node_budget,
         or_node_budget=item.or_node_budget,
+        verify=item.verify,
     )
     return record
 
@@ -229,6 +275,7 @@ def run_sweep(
     or_budget: float = 0.5,
     opt_node_budget: Optional[int] = None,
     or_node_budget: Optional[int] = None,
+    verify: bool = False,
 ) -> List[SweepRecord]:
     """Generate and evaluate random instances for each network size.
 
@@ -256,6 +303,8 @@ def run_sweep(
             :func:`run_instance`).
         or_node_budget: Deterministic explored-node cap for OR's round
             minimisation.
+        verify: Fill every outcome's ``verifier_agrees`` flag by
+            re-checking its schedule with the independent verifier.
     """
     items = [
         SweepItem(
@@ -269,6 +318,7 @@ def run_sweep(
             or_budget=or_budget,
             opt_node_budget=opt_node_budget,
             or_node_budget=or_node_budget,
+            verify=verify,
         )
         for count in switch_counts
         for index in range(instances_per_size)

@@ -64,6 +64,10 @@ class DataPlane:
         """Current rate dropped by table misses across the plane."""
         return sum(sw.blackholed for sw in self.switches.values())
 
+    def total_dropped_volume(self) -> float:
+        """Megabits black-holed across the plane since the simulation began."""
+        return sum(sw.dropped_volume() for sw in self.switches.values())
+
 
 def build_dataplane(
     sim: Simulator,

@@ -117,15 +117,32 @@ class DataLink:
         return list(self._timeline)
 
     def peak_utilization(self, since: float = 0.0) -> float:
-        """Maximum total rate observed at or after ``since``."""
+        """Maximum total rate observed over ``[since, now]``.
+
+        Each breakpoint's rate holds over ``[sample.time, next.time)``; the
+        last sample's segment is clipped to the current simulation time, so
+        a query window that starts in the future (``since > now``) is empty
+        and reports zero instead of the open-ended final rate.
+        """
+        now = self._sim.now
+        if since > now:
+            return 0.0
         peak = 0.0
         timeline = self._timeline
         for index, sample in enumerate(timeline):
-            end = timeline[index + 1].time if index + 1 < len(timeline) else None
-            if end is not None and end <= since:
-                continue
+            if index + 1 < len(timeline) and timeline[index + 1].time <= since:
+                continue  # segment over before the window; straddlers stay in
             peak = max(peak, sample.rate)
         return peak
+
+    def utilization_at(self, when: float) -> float:
+        """Total rate active at time ``when`` (from the breakpoint timeline)."""
+        rate = 0.0
+        for sample in self._timeline:
+            if sample.time > when:
+                break
+            rate = sample.rate
+        return rate
 
     def congested_seconds(self, tolerance: float = 1e-9) -> float:
         """Total time the link spent above capacity."""

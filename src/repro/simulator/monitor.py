@@ -53,6 +53,7 @@ class BandwidthMonitor:
             link: [] for link in self._links
         }
         self._running = False
+        self._pending = None
 
     def start(self) -> None:
         """Begin polling at the next interval boundary."""
@@ -61,16 +62,32 @@ class BandwidthMonitor:
         self._running = True
         for link in self._links:
             self._last_counter[link] = self._plane.links[link].byte_counter()
-        self._sim.schedule_after(self.interval, self._poll)
+        self._pending = self._sim.schedule_after(self.interval, self._poll)
+
+    def stop(self) -> None:
+        """Stop polling and cancel the pending poll event.
+
+        Without this the poll loop reschedules itself forever and an
+        open-ended ``sim.run()`` never drains its event queue.  Stopping is
+        idempotent; ``start`` may be called again afterwards.
+        """
+        if not self._running:
+            return
+        self._running = False
+        if self._pending is not None:
+            self._sim.cancel(self._pending)
+            self._pending = None
 
     def _poll(self) -> None:
+        if not self._running:
+            return
         now = self._sim.now
         for link in self._links:
             counter = self._plane.links[link].byte_counter()
             delta = counter - self._last_counter[link]
             self._last_counter[link] = counter
             self.series[link].append(BandwidthSample(time=now, mbps=delta / self.interval))
-        self._sim.schedule_after(self.interval, self._poll)
+        self._pending = self._sim.schedule_after(self.interval, self._poll)
 
     # ------------------------------------------------------------------
     # results

@@ -34,6 +34,9 @@ class DataSwitch:
         self._in_rates: Dict[InKey, Tuple[PacketContext, float]] = {}
         self.delivered = 0.0  # Mbps currently leaving through the host port
         self.blackholed = 0.0  # Mbps currently dropped by table misses
+        self._volume_accrued_at = sim.now  # last time the volume integrals advanced
+        self._dropped_volume = 0.0  # megabits dropped up to _volume_accrued_at
+        self._delivered_volume = 0.0  # megabits delivered up to _volume_accrued_at
 
     # ------------------------------------------------------------------
     # wiring
@@ -72,8 +75,28 @@ class DataSwitch:
         """Re-forward everything after a FlowMod took effect."""
         self.reevaluate()
 
+    def dropped_volume(self) -> float:
+        """Megabits black-holed so far (the drop analogue of a byte counter)."""
+        return self._dropped_volume + self.blackholed * (
+            self._sim.now - self._volume_accrued_at
+        )
+
+    def delivered_volume(self) -> float:
+        """Megabits delivered through the host port so far."""
+        return self._delivered_volume + self.delivered * (
+            self._sim.now - self._volume_accrued_at
+        )
+
+    def _accrue_volumes(self) -> None:
+        elapsed = self._sim.now - self._volume_accrued_at
+        if elapsed > 0.0:
+            self._dropped_volume += self.blackholed * elapsed
+            self._delivered_volume += self.delivered * elapsed
+        self._volume_accrued_at = self._sim.now
+
     def reevaluate(self) -> None:
         """Recompute all output rates from the current inputs and table."""
+        self._accrue_volumes()
         per_port: Dict[int, Dict[StreamKey, Tuple[PacketContext, float]]] = {
             port: {} for port in self._out_links
         }

@@ -14,10 +14,11 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.instance import UpdateInstance
 from repro.core.schedule import UpdateSchedule
+from repro.core.verdict import Verdict
 from repro.network.graph import Node
 
 
@@ -64,6 +65,11 @@ class UpdatePlan:
         rules: Rule-operation accounting.
         feasible: Whether the protocol claims transient consistency.
         notes: Free-form diagnostic remarks.
+        instance: The instance the plan was computed for (lets downstream
+            consumers verify or replay the plan without re-threading it).
+        verdict: Independent conformance verdict from
+            :mod:`repro.validate` when the protocol was built with
+            ``verify=True``; ``None`` otherwise.
     """
 
     protocol: str
@@ -72,6 +78,8 @@ class UpdatePlan:
     rules: RuleAccounting
     feasible: bool = True
     notes: str = ""
+    instance: Optional[UpdateInstance] = None
+    verdict: Optional[Verdict] = None
 
     @property
     def round_count(self) -> int:
@@ -80,6 +88,20 @@ class UpdatePlan:
     @property
     def makespan(self) -> int:
         return self.schedule.makespan
+
+    @property
+    def conformant(self) -> Optional[bool]:
+        """Does the independent verdict back the plan's feasibility claim?
+
+        ``None`` without a verdict.  A plan claiming feasibility must have a
+        fully clean verdict; a best-effort plan (``feasible=False``) makes
+        no consistency claim, so any verdict backs it.
+        """
+        if self.verdict is None:
+            return None
+        if self.feasible:
+            return self.verdict.ok
+        return True
 
 
 class UpdateProtocol(abc.ABC):

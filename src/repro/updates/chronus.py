@@ -28,12 +28,15 @@ class ChronusProtocol(UpdateProtocol):
     Args:
         mode: Greedy decision mode (``"exact"`` or ``"paper"``), see
             :mod:`repro.core.greedy`.
+        verify: Attach an independent :class:`repro.core.verdict.Verdict`
+            (from :func:`repro.validate.verify_schedule`) to every plan.
     """
 
     name = "chronus"
 
-    def __init__(self, mode: str = EXACT) -> None:
+    def __init__(self, mode: str = EXACT, verify: bool = False) -> None:
         self.mode = mode
+        self.verify = verify
 
     def plan(self, instance: UpdateInstance, t0: int = 0) -> UpdatePlan:
         result = greedy_schedule(instance, t0=t0, mode=self.mode)
@@ -61,6 +64,11 @@ class ChronusProtocol(UpdateProtocol):
                 "no congestion-free schedule exists; completed best-effort "
                 f"after stalling at t={result.stalled_at}"
             )
+        verdict = None
+        if self.verify:
+            from repro.validate.verifier import verify_schedule
+
+            verdict = verify_schedule(instance, schedule)
         return UpdatePlan(
             protocol=self.name,
             schedule=schedule,
@@ -68,4 +76,6 @@ class ChronusProtocol(UpdateProtocol):
             rules=rules,
             feasible=result.feasible,
             notes=notes,
+            instance=instance,
+            verdict=verdict,
         )

@@ -23,15 +23,32 @@ class OptimalProtocol(UpdateProtocol):
         time_budget: Wall-clock budget per instance in seconds; on exhaustion
             the best incumbent (or a best-effort loop-free completion) is
             returned, mirroring the paper's Fig. 10 cutoffs.
+        node_budget: Deterministic cap on explored search nodes -- outcomes
+            stop depending on machine load (the validation gate relies on
+            this for reproducible verdicts).
+        verify: Attach an independent :class:`repro.core.verdict.Verdict`
+            to every plan.
     """
 
     name = "opt"
 
-    def __init__(self, time_budget: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        time_budget: Optional[float] = None,
+        node_budget: Optional[int] = None,
+        verify: bool = False,
+    ) -> None:
         self.time_budget = time_budget
+        self.node_budget = node_budget
+        self.verify = verify
 
     def plan(self, instance: UpdateInstance, t0: int = 0) -> UpdatePlan:
-        result = optimal_schedule(instance, t0=t0, time_budget=self.time_budget)
+        result = optimal_schedule(
+            instance,
+            t0=t0,
+            time_budget=self.time_budget,
+            node_budget=self.node_budget,
+        )
         if result.schedule is not None:
             schedule = result.schedule
             feasible = True
@@ -60,6 +77,11 @@ class OptimalProtocol(UpdateProtocol):
             baseline_rules=baseline,
             peak_rules=baseline + installs,
         )
+        verdict = None
+        if self.verify:
+            from repro.validate.verifier import verify_schedule
+
+            verdict = verify_schedule(instance, schedule)
         return UpdatePlan(
             protocol=self.name,
             schedule=schedule,
@@ -67,4 +89,6 @@ class OptimalProtocol(UpdateProtocol):
             rules=rules,
             feasible=feasible,
             notes=notes,
+            instance=instance,
+            verdict=verdict,
         )

@@ -205,6 +205,10 @@ class OrderReplacementProtocol(UpdateProtocol):
         time_budget: Budget for the exact solver.
         rng: Random source for realised asynchronous times.
         max_skew: Asynchrony within a round, in time steps.
+        node_budget: Deterministic explored-node cap for the exact solver
+            (reproducible results across machines).
+        verify: Attach an independent :class:`repro.core.verdict.Verdict`
+            for the *nominal* round schedule to every plan.
     """
 
     name = "or"
@@ -215,15 +219,21 @@ class OrderReplacementProtocol(UpdateProtocol):
         time_budget: Optional[float] = None,
         rng: Optional[random.Random] = None,
         max_skew: int = 3,
+        node_budget: Optional[int] = None,
+        verify: bool = False,
     ) -> None:
         self.exact = exact
         self.time_budget = time_budget
         self.rng = rng if rng is not None else random.Random()
         self.max_skew = max_skew
+        self.node_budget = node_budget
+        self.verify = verify
 
     def plan(self, instance: UpdateInstance, t0: int = 0) -> UpdatePlan:
         if self.exact:
-            result = minimize_rounds(instance, time_budget=self.time_budget)
+            result = minimize_rounds(
+                instance, time_budget=self.time_budget, node_budget=self.node_budget
+            )
             rounds = result.rounds
             notes = "" if result.proven else "round minimisation hit its budget"
         else:
@@ -243,6 +253,11 @@ class OrderReplacementProtocol(UpdateProtocol):
             peak_rules=baseline + installs,
         )
         nominal = schedule_from_rounds(rounds, start_time=t0, feasible=False)
+        verdict = None
+        if self.verify:
+            from repro.validate.verifier import verify_schedule
+
+            verdict = verify_schedule(instance, nominal)
         return UpdatePlan(
             protocol=self.name,
             schedule=nominal,
@@ -250,6 +265,8 @@ class OrderReplacementProtocol(UpdateProtocol):
             rules=rules,
             feasible=False,  # loop-free by design, but capacity-oblivious
             notes=notes,
+            instance=instance,
+            verdict=verdict,
         )
 
     def realize(self, plan: UpdatePlan, t0: int = 0) -> UpdateSchedule:

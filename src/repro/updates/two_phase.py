@@ -44,10 +44,11 @@ class TwoPhaseProtocol(UpdateProtocol):
 
     name = "tp"
 
-    def __init__(self, flip_delay: int = 1) -> None:
+    def __init__(self, flip_delay: int = 1, verify: bool = False) -> None:
         if flip_delay < 1:
             raise ValueError("the ingress flip happens after phase one")
         self.flip_delay = flip_delay
+        self.verify = verify
 
     def plan(self, instance: UpdateInstance, t0: int = 0) -> UpdatePlan:
         baseline = count_baseline_rules(instance)
@@ -80,6 +81,11 @@ class TwoPhaseProtocol(UpdateProtocol):
             (flip_time, (instance.source,)),
         ]
         notes = "" if not spans else f"{len(spans)} overtaking congestion span(s)"
+        verdict = None
+        if self.verify:
+            from repro.validate.verifier import verify_two_phase
+
+            verdict = verify_two_phase(instance, flip_time, t0=t0)
         return UpdatePlan(
             protocol=self.name,
             schedule=schedule,
@@ -87,6 +93,8 @@ class TwoPhaseProtocol(UpdateProtocol):
             rules=rules,
             feasible=not spans,
             notes=notes,
+            instance=instance,
+            verdict=verdict,
         )
 
 

@@ -1,0 +1,46 @@
+"""Independent plan-conformance verification.
+
+Two parallel sources of truth exist for transient consistency: the analytic
+:class:`repro.core.intervals.IntervalTracker` every scheduler reasons over,
+and the fluid discrete-event simulator that executes plans.  A bug in either
+silently corrupts every figure.  This package cross-checks both against a
+third, deliberately independent implementation:
+
+* :func:`verify_schedule` -- re-derives Definitions 2 and 3 for any
+  :class:`repro.core.schedule.UpdateSchedule` by replaying every emission's
+  trajectory, sharing **no code** with the interval tracker;
+* :func:`verify_two_phase` -- the same judgement under two-phase versioned
+  semantics (packets travel either the all-old or the all-new path);
+* :func:`differential_replay` -- executes a plan on the fluid data plane via
+  the real controller/executor stack and cross-checks the measured link
+  utilisation timelines and drop volumes against the verdict's predictions;
+* :mod:`repro.validate.gate` -- the ``make validate`` sweep failing on any
+  planner <-> verifier <-> simulator disagreement.
+"""
+
+from repro.core.verdict import (
+    BlackholeViolation,
+    CapacityViolation,
+    LoopViolation,
+    Verdict,
+)
+from repro.validate.differential import DiffReport, TimelineMismatch, differential_replay
+from repro.validate.gate import Disagreement, GateReport, check_plan, run_gate
+from repro.validate.verifier import verify_plan, verify_schedule, verify_two_phase
+
+__all__ = [
+    "Verdict",
+    "LoopViolation",
+    "BlackholeViolation",
+    "CapacityViolation",
+    "verify_schedule",
+    "verify_two_phase",
+    "verify_plan",
+    "differential_replay",
+    "DiffReport",
+    "TimelineMismatch",
+    "Disagreement",
+    "GateReport",
+    "check_plan",
+    "run_gate",
+]

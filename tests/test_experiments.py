@@ -53,6 +53,34 @@ class TestSweep:
         assert outcomes["chronus"].congestion_free
         assert outcomes["opt"].congestion_free
 
+    def test_run_instance_without_verify_leaves_flag_unset(self, fig1_instance):
+        outcomes = run_instance(fig1_instance, seed=1, opt_budget=5.0)
+        assert all(o.verifier_agrees is None for o in outcomes.values())
+
+    def test_run_instance_verify_flags_conformance(self, fig1_instance):
+        outcomes = run_instance(
+            fig1_instance, seed=1, opt_budget=5.0, verify=True
+        )
+        assert all(o.verifier_agrees is True for o in outcomes.values())
+
+    def test_sweep_threads_verify_flag(self):
+        from repro.experiments.sweep import run_sweep
+
+        records = run_sweep(
+            [10],
+            instances_per_size=3,
+            schemes=("chronus", "or"),
+            opt_node_budget=5_000,
+            or_node_budget=5_000,
+            verify=True,
+        )
+        flags = [
+            outcome.verifier_agrees
+            for record in records
+            for outcome in record.outcomes.values()
+        ]
+        assert flags and all(flag is True for flag in flags)
+
 
 @pytest.mark.slow
 class TestFig7:

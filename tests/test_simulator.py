@@ -177,3 +177,98 @@ class TestDataPlane:
         sim.run(until=4.0)
         assert plane.link("v1", "v2").congested_seconds() == pytest.approx(4.0)
         assert plane.link("v1", "v2").peak_utilization() == pytest.approx(2.0)
+
+
+class TestPeakUtilizationWindow:
+    """Regressions for ``peak_utilization(since)`` window clipping."""
+
+    def build(self):
+        instance = motivating_example()
+        sim = Simulator()
+        plane = build_dataplane(sim, instance.network, delay_scale=1.0)
+        install_config(plane, instance)
+        return instance, sim, plane
+
+    def test_future_window_is_empty(self):
+        """A window starting after `now` must report zero, not the final rate."""
+        instance, sim, plane = self.build()
+        plane.inject_flow("v1", "h1", "v6", rate=2.0)
+        sim.run(until=5.0)
+        link = plane.link("v1", "v2")
+        assert link.utilization == pytest.approx(2.0)
+        assert link.peak_utilization(since=10.0) == 0.0
+
+    def test_straddling_interval_counts(self):
+        """A rate set before `since` but still active inside the window counts."""
+        instance, sim, plane = self.build()
+        plane.inject_flow("v1", "h1", "v6", rate=1.5)  # breakpoint at t=0
+        sim.run(until=8.0)
+        link = plane.link("v1", "v2")
+        # The t=0 segment straddles since=4 (it runs to `now`), so the
+        # window [4, 8] sees the full 1.5 Mbps.
+        assert link.peak_utilization(since=4.0) == pytest.approx(1.5)
+
+    def test_window_excludes_finished_segments(self):
+        """Segments that end before `since` stay out of the window."""
+        instance, sim, plane = self.build()
+        plane.inject_flow("v1", "h1", "v6", rate=3.0)
+        sim.run(until=4.0)
+        plane.switches["v1"].receive(
+            PacketContext(in_port=HOST_PORT, src_prefix="h1", dst_prefix="v6"),
+            rate=0.5,
+        )
+        sim.run(until=10.0)
+        link = plane.link("v1", "v2")
+        assert link.peak_utilization() == pytest.approx(3.0)  # full history
+        assert link.peak_utilization(since=6.0) == pytest.approx(0.5)
+
+    def test_exactly_now_window(self):
+        instance, sim, plane = self.build()
+        plane.inject_flow("v1", "h1", "v6", rate=1.0)
+        sim.run(until=3.0)
+        link = plane.link("v1", "v2")
+        assert link.peak_utilization(since=3.0) == pytest.approx(1.0)
+
+
+class TestMonitorStop:
+    """Regression: the poll loop must stop rescheduling once stopped."""
+
+    def build(self):
+        instance = motivating_example()
+        sim = Simulator()
+        plane = build_dataplane(sim, instance.network, delay_scale=1.0)
+        install_config(plane, instance)
+        return instance, sim, plane
+
+    def test_stop_drains_event_queue(self):
+        instance, sim, plane = self.build()
+        plane.inject_flow("v1", "h1", "v6", rate=1.0)
+        monitor = BandwidthMonitor(plane, interval=1.0, links=[("v1", "v2")])
+        monitor.start()
+        sim.run(until=5.5)
+        monitor.stop()
+        # An open-ended run must now drain instead of polling forever and
+        # tripping the max_events safety valve.
+        processed = sim.run(max_events=50)
+        assert processed < 50
+        assert len(monitor.link_series("v1", "v2")) == 5
+
+    def test_stop_is_idempotent_and_restartable(self):
+        instance, sim, plane = self.build()
+        monitor = BandwidthMonitor(plane, interval=1.0, links=[("v1", "v2")])
+        monitor.start()
+        sim.run(until=2.5)
+        monitor.stop()
+        monitor.stop()  # no-op
+        sim.run(until=4.5)
+        assert len(monitor.link_series("v1", "v2")) == 2  # nothing polled late
+        monitor.start()  # allowed again after a stop
+        sim.run(until=7.0)
+        assert len(monitor.link_series("v1", "v2")) == 4
+
+    def test_double_start_rejected(self):
+        instance, sim, plane = self.build()
+        monitor = BandwidthMonitor(plane, interval=1.0)
+        monitor.start()
+        with pytest.raises(RuntimeError):
+            monitor.start()
