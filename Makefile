@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-full validate validate-fast
+.PHONY: test test-fast bench bench-full validate validate-fast profile
 
 test:            ## full tier-1 suite + quick conformance gate
 	$(PYTHON) -m pytest -x -q
@@ -21,3 +21,6 @@ bench:           ## quick perf harness; appends to BENCH_sweep.json, gates on pa
 
 bench-full:      ## full-size perf harness (minutes)
 	$(PYTHON) scripts/bench.py
+
+profile:         ## phase breakdown of the greedy engine at 6000 switches
+	$(PYTHON) scripts/profile.py

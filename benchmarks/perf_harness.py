@@ -60,9 +60,13 @@ def _best_of(repeats, fn, *args, label=None, **kwargs):
 
 
 def bench_greedy(
-    sizes: Sequence[int] = (400, 1000, 4000), repeats: int = 3
+    sizes: Sequence[int] = (400, 1000, 4000, 6000), repeats: int = 3
 ) -> Dict[str, float]:
-    """Greedy scheduler wall clock per network size (seconds, best-of)."""
+    """Greedy scheduler wall clock per network size (seconds, best-of).
+
+    6000 switches is the paper's largest Fig. 10 size; the incremental
+    engine must clear it in seconds, not minutes.
+    """
     out: Dict[str, float] = {}
     for size in sizes:
         instance = segmented_instance(size, seed=size)
@@ -224,16 +228,20 @@ def collect(quick: bool = False, workers: int = 4) -> Dict[str, object]:
     return record
 
 
+def load_history(path: Path = BENCH_FILE) -> List[Dict]:
+    """All prior records from the JSON trajectory file (empty on any miss)."""
+    if not path.exists():
+        return []
+    try:
+        history = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return []
+    return history if isinstance(history, list) else [history]
+
+
 def append_record(record: Dict[str, object], path: Path = BENCH_FILE) -> List[Dict]:
     """Append ``record`` to the JSON trajectory file (a list of records)."""
-    history: List[Dict] = []
-    if path.exists():
-        try:
-            history = json.loads(path.read_text())
-        except (json.JSONDecodeError, OSError):
-            history = []
-        if not isinstance(history, list):
-            history = [history]
+    history = load_history(path)
     history.append(record)
     path.write_text(json.dumps(history, indent=2) + "\n")
     return history

@@ -6,6 +6,7 @@ Usage::
     python scripts/bench.py            # full sizes (minutes)
     python scripts/bench.py --quick    # small sizes (CI smoke / make bench)
     python scripts/bench.py --no-write # measure only, leave the JSON alone
+    python scripts/bench.py --profile  # attach a repro.perf phase breakdown
 
 Exit status is non-zero when a measured invariant fails:
 
@@ -14,7 +15,13 @@ Exit status is non-zero when a measured invariant fails:
 * on a machine with 2+ usable cores, the parallel sweep is more than
   1.2x slower than the serial sweep (the pool must never cost more than
   it gives; single-core boxes skip this gate because a process pool
-  cannot beat serial there).
+  cannot beat serial there), or
+* the plan-conformance verifier disagrees with any planner on the
+  seeded sweep (recorded as ``verifier_agrees``; skip with
+  ``--no-verify``), or
+* greedy[4000] regresses past 1.3x the best prior full-size record from
+  the same machine class (same ``cpus`` count; runs on other machine
+  classes are not comparable and skip the gate).
 """
 
 from __future__ import annotations
@@ -30,8 +37,50 @@ for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
         sys.path.insert(0, entry)
 
 from benchmarks import perf_harness  # noqa: E402  (path setup above)
+from repro.perf import perf  # noqa: E402
+from repro.validate.gate import run_gate  # noqa: E402
 
 SLOWDOWN_LIMIT = 1.2
+GREEDY_GATE_SIZE = "4000"
+GREEDY_GATE_LIMIT = 1.3
+
+
+def greedy_regression(record, history):
+    """Failure message when greedy[4000] regressed vs. prior records, else None.
+
+    Only prior full-size records from the same machine class (equal
+    ``cpus``) are comparable; quick records measure different sizes and
+    other machine classes have different clocks, so both are skipped.
+    Profiled records are skipped on both sides -- the enabled perf
+    counters inflate the tracker hot path, so their timings are not
+    comparable to plain runs.
+    """
+    if "profile" in record:
+        return None
+    greedy = record.get("greedy") or {}
+    current = greedy.get(GREEDY_GATE_SIZE)
+    if current is None:
+        return None
+    prior = [
+        entry["greedy"][GREEDY_GATE_SIZE]
+        for entry in history
+        if isinstance(entry, dict)
+        and not entry.get("quick")
+        and "profile" not in entry
+        and entry.get("cpus") == record.get("cpus")
+        and isinstance(entry.get("greedy"), dict)
+        and isinstance(entry["greedy"].get(GREEDY_GATE_SIZE), (int, float))
+    ]
+    if not prior:
+        return None
+    best = min(prior)
+    if best > 0 and current > GREEDY_GATE_LIMIT * best:
+        return (
+            f"greedy[{GREEDY_GATE_SIZE}] took {current:.3f}s, over "
+            f"{GREEDY_GATE_LIMIT}x the best prior record {best:.3f}s "
+            f"(machine class cpus={record.get('cpus')})"
+        )
+    return None
 
 
 def main(argv=None) -> int:
@@ -45,14 +94,40 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--no-write", action="store_true", help="do not append to BENCH_sweep.json"
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable repro.perf and attach the phase breakdown to the record",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the plan-conformance verifier sweep",
+    )
     args = parser.parse_args(argv)
 
+    if args.profile:
+        perf.enable()
     record = perf_harness.collect(quick=args.quick, workers=args.workers)
+    if args.profile:
+        record["profile"] = perf.snapshot()
+        print(perf.report())
+
+    if not args.no_verify:
+        gate = run_gate(
+            instance_count=8 if args.quick else 50,
+            switch_count=8,
+        )
+        record["verifier_agrees"] = gate.ok
+        print(f"[bench] verifier_agrees={gate.ok}")
+
     record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
-    if not args.no_write:
-        history = perf_harness.append_record(record)
+    if args.no_write:
+        history = perf_harness.load_history()
+    else:
+        history = perf_harness.append_record(record)[:-1]
         print(
-            f"appended record #{len(history)} to {perf_harness.BENCH_FILE.name} "
+            f"appended record #{len(history) + 1} to {perf_harness.BENCH_FILE.name} "
             f"(cpus={record['cpus']})"
         )
 
@@ -68,6 +143,11 @@ def main(argv=None) -> int:
                 f"parallel sweep {slowdown:.2f}x slower than serial on "
                 f"{cpus} cores (limit {SLOWDOWN_LIMIT}x)"
             )
+    if record.get("verifier_agrees") is False:
+        failures.append("plan-conformance verifier disagreed with a planner")
+    regression = greedy_regression(record, history)
+    if regression:
+        failures.append(regression)
     for failure in failures:
         print(f"BENCH GATE FAILURE: {failure}", file=sys.stderr)
     return 1 if failures else 0

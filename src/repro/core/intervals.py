@@ -24,14 +24,24 @@ from repro.core.cow import CowIndex
 from repro.core.instance import UpdateInstance
 from repro.core.schedule import UpdateSchedule
 from repro.network.graph import Node
+from repro.perf import perf
 
 LinkKey = Tuple[Node, Node]
 
-# One committed load contribution on a link: the owning class id (``None``
-# for background load) and its departure interval.
-_Entry = Tuple[Optional[int], Optional[int], Optional[int], float]
+# One committed load contribution on a link.  Background load is stored
+# resolved as ``(None, lo, hi, load)``; class load is stored as
+# ``(cid, offset, load)`` and resolved against the class's *current*
+# emission bounds at read time -- narrowing a class in place (a trim
+# commit) then never has to patch the memo.
+_Entry = Tuple  # (None, lo, hi, load) | (cid, offset, load)
 
 _EPS = 1e-9
+
+# Infinity stand-ins for the sweep's disjointness fast path; far outside any
+# reachable departure time, so order relative to finite coordinates (which
+# is all that test uses) is preserved.
+_NEG_CLAMP = -(1 << 60)
+_POS_CLAMP = 1 << 60
 
 DELIVERED = "delivered"
 BLACKHOLE = "blackhole"
@@ -187,6 +197,9 @@ class IntervalTracker:
         # per link and invalidated wholesale by ``apply_round``.
         self._entry_memo: Dict[LinkKey, Tuple[_Entry, ...]] = {}
         self._span_memo: Dict[LinkKey, Tuple[CongestionSpan, ...]] = {}
+        # Commits mark the span memo dirty instead of invalidating touched
+        # links one by one; the (rare) global congestion check clears it.
+        self._spans_dirty = False
 
         initial = _make_class(instance, None, None, instance.old_path)
         self._add_class(initial)
@@ -214,6 +227,7 @@ class IntervalTracker:
         other._next_id = self._next_id
         other._entry_memo = dict(self._entry_memo)
         other._span_memo = dict(self._span_memo)
+        other._spans_dirty = self._spans_dirty
         return other
 
     # ------------------------------------------------------------------
@@ -287,27 +301,99 @@ class IntervalTracker:
 
         Does not modify the tracker.
         """
-        self._check_round_args(nodes, time)
-        pieces, removed, report = self._split(nodes, time)
-        self._check_new_congestion(pieces, removed, report)
-        return report
+        with perf.span("tracker.preview"):
+            self._check_round_args(nodes, time)
+            pieces, _trims, _deflected, removed, report = self._split(nodes, time)
+            self._check_new_congestion(pieces, removed, report)
+            return report
 
     def apply_round(self, nodes: Sequence[Node], time: int) -> RoundReport:
         """Commit updating ``nodes`` at ``time`` and report new violations."""
-        self._check_round_args(nodes, time)
-        pieces, removed, report = self._split(nodes, time)
-        self._check_new_congestion(pieces, removed, report)
+        with perf.span("tracker.apply"):
+            self._check_round_args(nodes, time)
+            pieces, trims, deflected, removed, report = self._split(nodes, time)
+            self._check_new_congestion(pieces, removed, report)
+            self._commit(nodes, time, trims, deflected, removed)
+            return report
+
+    def probe_and_commit(self, nodes: Sequence[Node], time: int) -> RoundReport:
+        """Apply ``nodes`` at ``time`` only when doing so violates nothing.
+
+        One split + one sweep either way: a clean probe commits the already
+        -computed pieces instead of re-splitting (what ``preview_round``
+        followed by ``apply_round`` would do), a dirty probe leaves the
+        tracker untouched.  This is the greedy engine's per-candidate step:
+        probing heads one at a time against a scratch clone that accumulates
+        the accepted ones.
+        """
+        with perf.span("tracker.probe"):
+            self._check_round_args(nodes, time)
+            pieces, trims, deflected, removed, report = self._split(nodes, time)
+            self._check_new_congestion(pieces, removed, report)
+            if report.ok:
+                self._commit(nodes, time, trims, deflected, removed)
+            return report
+
+    def _commit(
+        self,
+        nodes: Sequence[Node],
+        time: int,
+        trims: List[Tuple[int, FlowClass]],
+        deflected: List[FlowClass],
+        removed: Set[int],
+    ) -> None:
+        """Adopt a computed split as the new committed state.
+
+        Trimmed parents keep their class id: the trim has the parent's
+        exact trajectory, only narrower emission bounds, so replacing the
+        class object in place leaves the link/node indexes and the
+        offset-based memo entries valid with zero per-link work.  Only
+        parents whose every emission deflected die, and only the deflected
+        pieces (fresh routes) are registered as new classes.
+        """
+        classes = self._classes
+        trimmed = set()
+        for cid, trim in trims:
+            classes[cid] = trim
+            trimmed.add(cid)
         for cid in removed:
-            self._alive.discard(cid)
-        for piece, _parent in pieces:
-            self._add_class(piece)
+            if cid not in trimmed:
+                self._alive.discard(cid)
+        added = [(self._add_class(piece), piece) for piece in deflected]
         for node in nodes:
             self._applied[node] = time
         self._last_time = time
-        if removed or pieces:
-            self._entry_memo.clear()
-            self._span_memo.clear()
-        return report
+        self._spans_dirty = True
+        if added:
+            self._update_memos(added)
+
+    def _update_memos(self, added: List[Tuple[int, FlowClass]]) -> None:
+        """Append the fresh pieces' entries to the touched links' memos.
+
+        A commit changes committed loads three ways, two of which need no
+        memo work at all: trims resolve live (the ``(cid, offset, load)``
+        entries pick up the narrowed bounds from the replaced class
+        object), and dead parents' entries are left behind for readers to
+        filter against ``_alive`` (dropping them here would rebuild one
+        tuple per parent link per commit over thousands-of-links shared
+        -path trajectories).  Only the deflected pieces' loads are genuinely
+        new, and their entries are appended where a memo already exists.
+        Spans cannot be patched; commits flag them dirty wholesale and the
+        global check rebuilds on demand.
+        """
+        entry_memo = self._entry_memo
+        demand = self.instance.demand
+        for cid, piece in added:
+            offsets = piece.offsets
+            for link, indices in piece.link_positions().items():
+                memo = entry_memo.get(link)
+                if memo is not None:
+                    if len(indices) == 1:
+                        entry_memo[link] = memo + ((cid, offsets[indices[0]], demand),)
+                    else:
+                        entry_memo[link] = memo + tuple(
+                            (cid, offsets[i], demand) for i in indices
+                        )
 
     # ------------------------------------------------------------------
     # global checks
@@ -315,9 +401,12 @@ class IntervalTracker:
     def congestion_spans(self) -> List[CongestionSpan]:
         """All capacity violations of the current flow state.
 
-        Per-link results are memoised on the link's load revision, so
-        repeated global checks only re-sweep links whose load changed.
+        Per-link results are memoised between commits, so repeated global
+        checks on an unchanged tracker cost a handful of dict lookups.
         """
+        if self._spans_dirty:
+            self._span_memo.clear()
+            self._spans_dirty = False
         spans: List[CongestionSpan] = []
         links = set(self._link_index) | set(self.background)
         for link in sorted(links):
@@ -368,8 +457,23 @@ class IntervalTracker:
 
     def _split(
         self, nodes: Sequence[Node], time: int
-    ) -> Tuple[List[Tuple[FlowClass, FlowClass]], Set[int], RoundReport]:
-        """Compute the class splits caused by updating ``nodes`` at ``time``."""
+    ) -> Tuple[
+        List[Tuple[FlowClass, FlowClass]],
+        List[Tuple[int, FlowClass]],
+        List[FlowClass],
+        Set[int],
+        RoundReport,
+    ]:
+        """Compute the class splits caused by updating ``nodes`` at ``time``.
+
+        Returns ``(pieces, trims, deflected, removed, report)``:
+        ``pieces`` pairs every replacement piece with its parent for the
+        congestion check, ``trims`` maps parent ids to their narrowed
+        in-place replacements, ``deflected`` holds the freshly routed
+        pieces to register as new classes, and ``removed`` is the check's
+        exclusion set (every split parent -- its old bounds must not be
+        double-counted against the pieces).
+        """
         report = RoundReport(time=time, nodes=tuple(nodes))
         round_set = set(nodes)
         applied_after = dict(self._applied)
@@ -378,6 +482,8 @@ class IntervalTracker:
         config = self.instance.config_at(applied_after, time)
 
         pieces: List[Tuple[FlowClass, FlowClass]] = []
+        trims: List[Tuple[int, FlowClass]] = []
+        deflected: List[FlowClass] = []
         removed: Set[int] = set()
         # Only classes whose trajectory touches a round switch can split.
         candidates: Set[int] = set()
@@ -390,9 +496,15 @@ class IntervalTracker:
             split = _split_class(self.instance, cls, round_set, time, config, report)
             if split is None:
                 continue
+            trim, fresh = split
             removed.add(cid)
-            pieces.extend((piece, cls) for piece in split)
-        return pieces, removed, report
+            if trim is not None:
+                trims.append((cid, trim))
+                pieces.append((trim, cls))
+            for piece in fresh:
+                deflected.append(piece)
+                pieces.append((piece, cls))
+        return pieces, trims, deflected, removed, report
 
     def _check_new_congestion(
         self,
@@ -445,17 +557,37 @@ class IntervalTracker:
                     hi = None if hi0 is None else hi0 + offsets[i]
                     fresh_list.append((lo, hi, demand))
         capacities = self.instance.network.capacity_map()
+        classes = self._classes
+        alive = self._alive
+        profiling = perf.enabled
         for link, fresh in extras.items():
             capacity = capacities[link]
             committed = self._committed_entries(link)
             if not committed and len(fresh) * demand <= capacity + _EPS:
+                if profiling:
+                    perf.count("tracker.links_skipped")
                 continue  # combined fresh load cannot exceed capacity
-            intervals = [
-                (lo, hi, load)
-                for cid, lo, hi, load in committed
-                if cid is None or cid not in removed
-            ]
+            intervals = []
+            for entry in committed:
+                cid = entry[0]
+                if cid is None:
+                    intervals.append(entry[1:])
+                elif cid in alive and cid not in removed:
+                    cls = classes[cid]
+                    offset = entry[1]
+                    lo0 = cls.lo
+                    hi0 = cls.hi
+                    intervals.append(
+                        (
+                            None if lo0 is None else lo0 + offset,
+                            None if hi0 is None else hi0 + offset,
+                            entry[2],
+                        )
+                    )
             intervals.extend(fresh)
+            if profiling:
+                perf.count("tracker.sweeps")
+                perf.count("tracker.sweep_intervals", len(intervals))
             report.congestion.extend(
                 _sweep_link(link, capacity, intervals, self.t0)
             )
@@ -463,12 +595,19 @@ class IntervalTracker:
     def _committed_entries(self, link: LinkKey) -> Tuple[_Entry, ...]:
         """The committed load contributions on ``link`` (memoised).
 
-        Valid until the next committed round (``apply_round`` clears the
-        cache); candidate-round probes between commits therefore assemble
-        their interval lists from this cache instead of re-walking the
-        index and every class's link positions.
+        Candidate-round probes assemble their interval lists from this
+        cache instead of re-walking the index and every class's link
+        positions.  Commits patch the cache in place by appending the new
+        pieces' entries; entries of since-removed classes are left behind,
+        so READERS MUST FILTER on ``cid in self._alive`` (``None`` cids are
+        background load and always live) and resolve class entries'
+        ``(cid, offset, load)`` against the class's current bounds.
         """
         memo = self._entry_memo.get(link)
+        if perf.enabled:
+            perf.count(
+                "tracker.entry_memo.hit" if memo is not None else "tracker.entry_memo.miss"
+            )
         if memo is not None:
             return memo
         demand = self.instance.demand
@@ -478,9 +617,9 @@ class IntervalTracker:
             if cid not in alive:
                 continue
             cls = self._classes[cid]
+            offsets = cls.offsets
             for index in cls.link_positions().get(link, ()):
-                lo, hi = cls.departure_interval(index)
-                entries.append((cid, lo, hi, demand))
+                entries.append((cid, offsets[index], demand))
         for lo, hi, load in self.background.get(link, ()):
             entries.append((None, lo, hi, load))
         frozen = tuple(entries)
@@ -492,9 +631,25 @@ class IntervalTracker:
         memo = self._span_memo.get(link)
         if memo is not None:
             return memo
-        intervals = [
-            (lo, hi, load) for _, lo, hi, load in self._committed_entries(link)
-        ]
+        alive = self._alive
+        classes = self._classes
+        intervals = []
+        for entry in self._committed_entries(link):
+            cid = entry[0]
+            if cid is None:
+                intervals.append(entry[1:])
+            elif cid in alive:
+                cls = classes[cid]
+                offset = entry[1]
+                lo0 = cls.lo
+                hi0 = cls.hi
+                intervals.append(
+                    (
+                        None if lo0 is None else lo0 + offset,
+                        None if hi0 is None else hi0 + offset,
+                        entry[2],
+                    )
+                )
         capacity = self.instance.network.capacity_map()[link]
         spans = tuple(_sweep_link(link, capacity, intervals, self.t0))
         self._span_memo[link] = spans
@@ -590,12 +745,14 @@ def _split_class(
     time: int,
     config: Mapping[Node, Node],
     report: RoundReport,
-) -> Optional[List[FlowClass]]:
+) -> Optional[Tuple[Optional[FlowClass], List[FlowClass]]]:
     """Split ``cls`` at this round's deflection thresholds.
 
-    Returns ``None`` when the class is unaffected, otherwise the replacement
-    pieces (possibly just a trimmed copy).  Loop and black-hole events for
-    non-empty deflected pieces are appended to ``report``.
+    Returns ``None`` when the class is unaffected, otherwise
+    ``(trim, deflected)``: the trimmed copy keeping the original trajectory
+    (``None`` when every emission deflects) plus the freshly routed pieces.
+    Loop and black-hole events for non-empty deflected pieces are appended
+    to ``report``.
     """
     hits = [i for i, node in enumerate(cls.nodes) if node in round_set]
     if cls.outcome == LOOPED and hits and hits[-1] == len(cls.nodes) - 1:
@@ -619,22 +776,24 @@ def _split_class(
     if not relevant:
         return None
 
-    pieces: List[FlowClass] = []
+    trim: Optional[FlowClass] = None
+    deflected: List[FlowClass] = []
 
     # Emissions below every threshold keep the original trajectory.
     lowest_threshold = min(threshold for threshold, _ in relevant)
     keep_hi = lowest_threshold - 1
     if cls.lo is None or cls.lo <= keep_hi:
-        pieces.append(
-            FlowClass(
-                lo=cls.lo,
-                hi=keep_hi if cls.hi is None else min(cls.hi, keep_hi),
-                nodes=cls.nodes,
-                offsets=cls.offsets,
-                outcome=cls.outcome,
-                loop_node=cls.loop_node,
-                fresh_from=len(cls.nodes),  # trimmed: no new load anywhere
-            )
+        trim = FlowClass(
+            lo=cls.lo,
+            hi=keep_hi if cls.hi is None else min(cls.hi, keep_hi),
+            nodes=cls.nodes,
+            offsets=cls.offsets,
+            outcome=cls.outcome,
+            loop_node=cls.loop_node,
+            fresh_from=len(cls.nodes),  # trimmed: no new load anywhere
+            # Identical trajectory: share the parent's position cache
+            # instead of rebuilding a full-trajectory dict per trim.
+            _link_positions=cls._link_positions,
         )
 
     # A unit deflects at its *first* trajectory switch whose threshold it
@@ -656,12 +815,12 @@ def _split_class(
         piece = _make_class(
             instance, lo, hi, nodes, outcome, loop_node, fresh_from=index
         )
-        pieces.append(piece)
+        deflected.append(piece)
         if outcome == LOOPED:
             report.loops.append((lo, loop_node))
         elif outcome == BLACKHOLE:
             report.blackholes.append((lo, nodes[-1]))
-    return pieces
+    return trim, deflected
 
 
 def _sweep_link(
@@ -678,20 +837,50 @@ def _sweep_link(
     minus-infinite and one plus-infinite interval can exist per link
     lineage, and two opposite-open intervals overlap on a finite segment).
     """
-    if len(intervals) < 2:
-        if not intervals or intervals[0][2] <= capacity + _EPS:
-            return []
+    if not intervals:
+        return []
+    # Fast exit: total load fitting the capacity clears any overlap pattern.
+    total = 0.0
+    for _lo, _hi, demand in intervals:
+        total += demand
+    if total <= capacity + _EPS:
+        return []
+    # Sentinel clamps for the disjointness test: any clamp lying outside
+    # every finite coordinate yields the same verdict, so the precise
+    # min/max pass over the coordinates is deferred to the slow path.
+    clamped = sorted(
+        (_NEG_CLAMP if lo is None else lo, _POS_CLAMP if hi is None else hi, demand)
+        for lo, hi, demand in intervals
+    )
+    # Fast exit covering the overwhelming share of probe sweeps (a clean
+    # link the round routed new load over): the intervals are pairwise
+    # disjoint and none exceeds the capacity on its own, so no departure
+    # time stacks two of them.  One pass over the lo-sorted list decides
+    # it; only links that fail fall through to the full event sweep.
+    disjoint = True
+    reach: Optional[int] = None
+    for lo, hi, demand in clamped:
+        if lo > hi:
+            continue
+        if demand > capacity + _EPS or (reach is not None and lo <= reach):
+            disjoint = False
+            break
+        reach = hi if reach is None else max(reach, hi)
+    if disjoint:
+        return []
+    # Slow path: re-clamp just outside the finite coordinates so reported
+    # span bounds stay exact.
     finite = [x for lo, hi, _ in intervals for x in (lo, hi) if x is not None]
     neg = (min(finite) if finite else 0) - 1
     pos = (max(finite) if finite else 0) + 1
     events: List[Tuple[int, float]] = []  # (coordinate, +/- demand)
     for lo, hi, demand in intervals:
-        lo_c = neg if lo is None else lo
-        hi_c = pos if hi is None else hi
-        if lo_c > hi_c:
+        lo = neg if lo is None else lo
+        hi = pos if hi is None else hi
+        if lo > hi:
             continue
-        events.append((lo_c, demand))
-        events.append((hi_c + 1, -demand))
+        events.append((lo, demand))
+        events.append((hi + 1, -demand))
     if not events:
         return []
     events.sort(key=lambda item: item[0])

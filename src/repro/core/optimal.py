@@ -27,6 +27,7 @@ from repro.core.intervals import IntervalTracker
 from repro.core.schedule import UpdateSchedule
 from repro.core.trace import trace_schedule
 from repro.network.graph import Node
+from repro.perf import perf
 
 
 @dataclass
@@ -108,7 +109,8 @@ def optimal_schedule(
     # Seed the incumbent with the greedy schedule when it is feasible.
     best_times: Optional[Dict[Node, int]] = None
     best_makespan = max_horizon + 2
-    seed = greedy_schedule(instance, t0=t0)
+    with perf.span("opt.seed"):
+        seed = greedy_schedule(instance, t0=t0)
     if seed.feasible:
         best_times = seed.schedule.as_dict()
         best_makespan = seed.schedule.makespan
@@ -182,7 +184,8 @@ def optimal_schedule(
             if horizon is not None and t <= horizon:
                 dfs(tracker, pending, t + 1, last_update)
 
-    dfs(root, pending_all, t0, None)
+    with perf.span("opt.search"):
+        dfs(root, pending_all, t0, None)
     elapsed = time.monotonic() - started
     schedule = None
     if best_times is not None:

@@ -22,6 +22,9 @@ from repro.runtime import ParallelRunner
 from repro.updates.order_replacement import minimize_rounds
 
 
+SCHEMES = ("chronus", "or", "opt")
+
+
 @dataclass(frozen=True)
 class _TimingItem:
     """One (size, run) scheduler-timing measurement."""
@@ -30,6 +33,7 @@ class _TimingItem:
     seed: int
     segments: int
     cutoff: float
+    schemes: Sequence[str] = SCHEMES
 
 
 @dataclass(frozen=True)
@@ -42,26 +46,35 @@ class _TimingResult:
 
 
 def _time_one(item: _TimingItem) -> _TimingResult:
-    """Worker: time all three schedulers on one instance.
+    """Worker: time the selected schedulers on one instance.
 
     Every run of a size is always measured (the serial loop short-circuits
     once a scheme blows the cutoff, but the aggregation below reproduces
     that outcome from the per-run proofs, so the reported numbers match).
+    Deselected schemes report zero elapsed and a failed proof.
     """
     instance = segmented_instance(
         item.switch_count, seed=item.seed, segments=item.segments
     )
-    started = time.monotonic()
-    greedy_schedule(instance)
-    chronus_elapsed = time.monotonic() - started
-    or_result = minimize_rounds(instance, time_budget=item.cutoff)
-    opt_result = optimal_schedule(instance, time_budget=item.cutoff)
+    chronus_elapsed = 0.0
+    if "chronus" in item.schemes:
+        started = time.monotonic()
+        greedy_schedule(instance)
+        chronus_elapsed = time.monotonic() - started
+    or_elapsed, or_proven = 0.0, False
+    if "or" in item.schemes:
+        or_result = minimize_rounds(instance, time_budget=item.cutoff)
+        or_elapsed, or_proven = or_result.elapsed, or_result.proven
+    opt_elapsed, opt_proven = 0.0, False
+    if "opt" in item.schemes:
+        opt_result = optimal_schedule(instance, time_budget=item.cutoff)
+        opt_elapsed, opt_proven = opt_result.elapsed, opt_result.proven
     return _TimingResult(
         chronus_elapsed=chronus_elapsed,
-        or_elapsed=or_result.elapsed,
-        or_proven=or_result.proven,
-        opt_elapsed=opt_result.elapsed,
-        opt_proven=opt_result.proven,
+        or_elapsed=or_elapsed,
+        or_proven=or_proven,
+        opt_elapsed=opt_elapsed,
+        opt_proven=opt_proven,
     )
 
 
@@ -72,15 +85,16 @@ class Fig10Result:
     cutoff: float
 
     def render(self) -> str:
+        schemes = [s for s in SCHEMES if s in self.seconds]
         rows = []
         for index, count in enumerate(self.switch_counts):
             row: List[object] = [count]
-            for scheme in ("chronus", "or", "opt"):
+            for scheme in schemes:
                 value = self.seconds[scheme][index]
                 row.append(f">{self.cutoff:.0f} (cutoff)" if value is None else f"{value:.3f}")
             rows.append(row)
         return render_table(
-            ["switches", "chronus (s)", "or (s)", "opt (s)"],
+            ["switches"] + [f"{scheme} (s)" for scheme in schemes],
             rows,
             title=f"Fig. 10 -- scheduler running time (cutoff {self.cutoff:.0f} s)",
         )
@@ -92,6 +106,7 @@ def run_fig10(
     base_seed: int = 4,
     runs_per_size: int = 1,
     max_workers: int = 1,
+    schemes: Sequence[str] = SCHEMES,
 ) -> Fig10Result:
     """Time the three schedulers per size, honouring a cutoff.
 
@@ -107,7 +122,14 @@ def run_fig10(
     measurement still runs single-threaded inside its worker, but
     concurrent workers do contend for cores -- use parallel timing for the
     shape of the curves, serial for publishable absolute numbers.
+
+    ``schemes`` restricts which schedulers run (subset of ``SCHEMES``);
+    the paper-scale ``fig10-greedy`` preset uses ``("chronus",)`` to get
+    the 6K-switch Chronus point without hours of exact-solver cutoffs.
     """
+    unknown = set(schemes) - set(SCHEMES)
+    if unknown:
+        raise ValueError(f"unknown Fig. 10 schemes {sorted(unknown)!r}")
     items = [
         # Rerouted regions grow with the fabric: one detour on small
         # networks, several on large ones (keeps the exact solvers'
@@ -117,6 +139,7 @@ def run_fig10(
             seed=base_seed * 31 + count + run,
             segments=max(1, min(6, count // 250)),
             cutoff=cutoff,
+            schemes=tuple(schemes),
         )
         for count in switch_counts
         for run in range(runs_per_size)
@@ -124,19 +147,24 @@ def run_fig10(
     runner = ParallelRunner(max_workers=max_workers, chunk_size=1)
     results = runner.map(_time_one, items)
 
-    seconds: Dict[str, List[Optional[float]]] = {"chronus": [], "or": [], "opt": []}
+    seconds: Dict[str, List[Optional[float]]] = {
+        scheme: [] for scheme in SCHEMES if scheme in schemes
+    }
     for offset in range(0, len(results), runs_per_size):
         per_size = results[offset : offset + runs_per_size]
-        chronus_total = sum(r.chronus_elapsed for r in per_size)
-        or_value: Optional[float] = None
-        if all(r.or_proven for r in per_size):
-            or_value = sum(r.or_elapsed for r in per_size) / runs_per_size
-        opt_value: Optional[float] = None
-        if all(r.opt_proven for r in per_size):
-            opt_value = sum(r.opt_elapsed for r in per_size) / runs_per_size
-        seconds["chronus"].append(chronus_total / runs_per_size)
-        seconds["or"].append(or_value)
-        seconds["opt"].append(opt_value)
+        if "chronus" in seconds:
+            chronus_total = sum(r.chronus_elapsed for r in per_size)
+            seconds["chronus"].append(chronus_total / runs_per_size)
+        if "or" in seconds:
+            or_value: Optional[float] = None
+            if all(r.or_proven for r in per_size):
+                or_value = sum(r.or_elapsed for r in per_size) / runs_per_size
+            seconds["or"].append(or_value)
+        if "opt" in seconds:
+            opt_value: Optional[float] = None
+            if all(r.opt_proven for r in per_size):
+                opt_value = sum(r.opt_elapsed for r in per_size) / runs_per_size
+            seconds["opt"].append(opt_value)
     return Fig10Result(
         switch_counts=list(switch_counts), seconds=seconds, cutoff=cutoff
     )

@@ -1,0 +1,194 @@
+"""The profiling registry: hierarchical spans and hit/miss counters.
+
+Design constraints (this code sits inside the scheduling hot paths):
+
+* **Near-zero cost when disabled.**  ``perf.span(...)`` returns a shared
+  no-op context manager and ``perf.count(...)`` is a single attribute
+  check; neither allocates.  Hot loops that count per iteration hoist the
+  check themselves (``if perf.enabled: perf.count(...)``).
+* **Hierarchy from the dynamic span stack.**  A span entered while
+  another is open records under the dotted path ``outer.inner``, so the
+  tracker's ``preview`` time shows up under whichever scheduler invoked
+  it (``greedy.select.tracker.preview`` vs ``opt.tracker.preview``)
+  without any caller coordination.
+* **Plain data out.**  :meth:`PerfRegistry.snapshot` returns JSON-ready
+  dicts (what ``scripts/bench.py --profile`` embeds in the
+  ``BENCH_sweep.json`` record); :mod:`repro.perf.report` renders the
+  human text tree.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; records wall clock under its dotted stack path."""
+
+    __slots__ = ("_registry", "_name", "_path", "_started")
+
+    def __init__(self, registry: "PerfRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._path = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_Span":
+        stack = self._registry._stack
+        self._path = f"{stack[-1]}.{self._name}" if stack else self._name
+        stack.append(self._path)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = time.perf_counter() - self._started
+        registry = self._registry
+        stack = registry._stack
+        if stack and stack[-1] == self._path:
+            stack.pop()
+        stat = registry._spans.get(self._path)
+        if stat is None:
+            registry._spans[self._path] = [1, elapsed]
+        else:
+            stat[0] += 1
+            stat[1] += elapsed
+        return False
+
+
+class PerfRegistry:
+    """Hierarchical wall-clock timers and event counters.
+
+    Usage::
+
+        from repro.perf import perf
+
+        with perf.span("greedy"):
+            with perf.span("select"):          # records "greedy.select"
+                ...
+        perf.count("tracker.sweeps")
+        print(perf.report())
+
+    All state is process-local and non-thread-safe by design: the
+    schedulers are single-threaded and the parallel sweep engine profiles
+    per worker process.
+    """
+
+    __slots__ = ("enabled", "_stack", "_spans", "_counters")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._stack: List[str] = []
+        self._spans: Dict[str, List[float]] = {}  # path -> [calls, seconds]
+        self._counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # control
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded spans and counters (keeps the enabled flag)."""
+        self._stack.clear()
+        self._spans.clear()
+        self._counters.clear()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def span(self, name: str):
+        """A context manager timing ``name`` under the current span path."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        counters = self._counters
+        counters[name] = counters.get(name, 0) + n
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def seconds(self, path: str) -> float:
+        """Total recorded seconds under the exact span ``path``."""
+        stat = self._spans.get(path)
+        return 0.0 if stat is None else stat[1]
+
+    def calls(self, path: str) -> int:
+        stat = self._spans.get(path)
+        return 0 if stat is None else int(stat[0])
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-ready view: per-path calls/seconds plus raw counters."""
+        return {
+            "spans": {
+                path: {"calls": int(calls), "seconds": round(seconds, 6)}
+                for path, (calls, seconds) in sorted(self._spans.items())
+            },
+            "counters": dict(sorted(self._counters.items())),
+        }
+
+    def report(self, min_seconds: float = 0.0) -> str:
+        """The flame-style text report (see :mod:`repro.perf.report`)."""
+        from repro.perf.report import render_report
+
+        return render_report(self.snapshot(), min_seconds=min_seconds)
+
+
+def timed(name: str, registry: Optional[PerfRegistry] = None):
+    """Decorator timing every call of the wrapped function as a span.
+
+    When the registry is disabled the wrapper costs one attribute check
+    and delegates straight to the function.
+    """
+
+    def decorate(fn):
+        import functools
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            reg = registry if registry is not None else perf
+            if not reg.enabled:
+                return fn(*args, **kwargs)
+            with reg.span(name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def _env_enabled(environ=os.environ) -> bool:
+    """Whether the ``REPRO_PERF`` environment variable asks for profiling."""
+    value = environ.get("REPRO_PERF", "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
+
+
+#: The process-wide default registry every instrumented module shares.
+perf = PerfRegistry(enabled=_env_enabled())

@@ -1,0 +1,94 @@
+"""Render a :meth:`repro.perf.PerfRegistry.snapshot` as a text report.
+
+The span section is a flame-style tree: children indent under their
+parent path, each line showing total seconds, the share of its root
+span, call count, and -- when a span has children -- its *self* time
+(time not attributed to any child span).  The counter section pairs
+``<name>.hit`` / ``<name>.miss`` counters into hit-rate lines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+_BAR_WIDTH = 18
+
+
+def _format_count(value: int) -> str:
+    if value >= 10_000_000:
+        return f"{value / 1_000_000:.0f}M"
+    if value >= 10_000:
+        return f"{value / 1000:.0f}k"
+    return str(value)
+
+
+def render_report(snapshot: Dict[str, Dict], min_seconds: float = 0.0) -> str:
+    """Build the text report from a registry snapshot."""
+    spans: Dict[str, Dict] = snapshot.get("spans", {})
+    counters: Dict[str, int] = snapshot.get("counters", {})
+    lines: List[str] = []
+
+    if spans:
+        lines.append("span tree (seconds, share of root, calls; self = minus child spans)")
+        children: Dict[str, List[str]] = {}
+        roots: List[str] = []
+        for path in spans:
+            parent = path.rsplit(".", 1)[0] if "." in path else None
+            # Attach to the nearest recorded ancestor (intermediate paths
+            # always exist because spans nest dynamically, but be safe).
+            while parent is not None and parent not in spans:
+                parent = parent.rsplit(".", 1)[0] if "." in parent else None
+            if parent is None:
+                roots.append(path)
+            else:
+                children.setdefault(parent, []).append(path)
+
+        def emit(path: str, depth: int, root_seconds: float) -> None:
+            stat = spans[path]
+            seconds = stat["seconds"]
+            if seconds < min_seconds and depth > 0:
+                return
+            share = 100.0 * seconds / root_seconds if root_seconds else 100.0
+            bar = "#" * max(1, int(round(share / 100.0 * _BAR_WIDTH)))
+            name = path.rsplit(".", 1)[-1] if depth else path
+            kids = sorted(
+                children.get(path, ()), key=lambda p: -spans[p]["seconds"]
+            )
+            self_seconds = seconds - sum(spans[k]["seconds"] for k in kids)
+            self_note = f"  self={self_seconds:.3f}s" if kids else ""
+            lines.append(
+                f"  {'  ' * depth}{name:<{max(28 - 2 * depth, 8)}} "
+                f"{seconds:9.3f}s {share:5.1f}% {stat['calls']:>8}x "
+                f"{bar:<{_BAR_WIDTH}}{self_note}"
+            )
+            for kid in kids:
+                emit(kid, depth + 1, root_seconds)
+
+        for root in sorted(roots, key=lambda p: -spans[p]["seconds"]):
+            emit(root, 0, spans[root]["seconds"])
+    else:
+        lines.append("span tree: (no spans recorded)")
+
+    if counters:
+        lines.append("")
+        lines.append("counters")
+        paired = set()
+        for name in sorted(counters):
+            if name in paired:
+                continue
+            if name.endswith(".hit") and name[:-4] + ".miss" in counters:
+                base = name[:-4]
+                hit = counters[name]
+                miss = counters[base + ".miss"]
+                paired.add(base + ".miss")
+                total = hit + miss
+                rate = 100.0 * hit / total if total else 0.0
+                lines.append(
+                    f"  {base:<34} {_format_count(hit):>8} hit "
+                    f"{_format_count(miss):>8} miss  ({rate:.1f}% hit)"
+                )
+            elif name.endswith(".miss") and name[:-5] + ".hit" in counters:
+                continue  # rendered with its .hit partner
+            else:
+                lines.append(f"  {name:<34} {_format_count(counters[name]):>8}")
+    return "\n".join(lines)

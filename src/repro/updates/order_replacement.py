@@ -28,6 +28,7 @@ from repro.core.instance import UpdateInstance
 from repro.core.rounds import greedy_loop_free_rounds, round_is_loop_free
 from repro.core.schedule import UpdateSchedule, schedule_from_rounds
 from repro.network.graph import Node
+from repro.perf import perf
 from repro.updates.base import (
     RuleAccounting,
     UpdatePlan,
@@ -143,7 +144,8 @@ def minimize_rounds(
                     return
 
     stack: List[List[Node]] = []
-    dfs(set(), pending_all, 0)
+    with perf.span("or.search"):
+        dfs(set(), pending_all, 0)
     return RoundMinimizationResult(
         rounds=best,
         proven=not timed_out,

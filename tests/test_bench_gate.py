@@ -1,0 +1,57 @@
+"""Unit tests for the bench script's greedy regression gate."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "bench_script", REPO_ROOT / "scripts" / "bench.py"
+)
+bench = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_script", bench)
+_spec.loader.exec_module(bench)
+
+
+def record(seconds, cpus=4, quick=False, profile=False):
+    entry = {"cpus": cpus, "quick": quick, "greedy": {"4000": seconds}}
+    if profile:
+        entry["profile"] = {"spans": {}, "counters": {}}
+    return entry
+
+
+class TestGreedyRegressionGate:
+    def test_no_history_skips(self):
+        assert bench.greedy_regression(record(1.0), []) is None
+
+    def test_within_limit_passes(self):
+        history = [record(1.0), record(1.2)]
+        assert bench.greedy_regression(record(1.29), history) is None
+
+    def test_regression_fails(self):
+        history = [record(1.0)]
+        message = bench.greedy_regression(record(1.5), history)
+        assert message is not None
+        assert "greedy[4000]" in message
+
+    def test_best_prior_is_the_baseline(self):
+        # 1.5s is over 1.3x the best (1.0s) even though a worse prior exists.
+        history = [record(2.0), record(1.0)]
+        assert bench.greedy_regression(record(1.5), history) is not None
+
+    def test_other_machine_class_skipped(self):
+        history = [record(1.0, cpus=32)]
+        assert bench.greedy_regression(record(9.9, cpus=4), history) is None
+
+    def test_quick_records_ignored(self):
+        history = [record(0.1, quick=True)]
+        assert bench.greedy_regression(record(9.9), history) is None
+
+    def test_profiled_records_ignored_both_sides(self):
+        history = [record(1.0)]
+        assert bench.greedy_regression(record(9.9, profile=True), history) is None
+        assert bench.greedy_regression(record(1.0), [record(0.1, profile=True)]) is None
+
+    def test_quick_current_record_skips(self):
+        current = {"cpus": 4, "quick": True, "greedy": {"200": 0.05}}
+        assert bench.greedy_regression(current, [record(1.0)]) is None

@@ -130,6 +130,17 @@ class TestFig10:
         )
         assert "cutoff" in result.render()
 
+    def test_scheme_selection_skips_exact_solvers(self):
+        result = fig10.run_fig10(switch_counts=(60,), cutoff=1.0, schemes=("chronus",))
+        assert set(result.seconds) == {"chronus"}
+        assert result.seconds["chronus"][0] is not None
+        rendered = result.render()
+        assert "chronus" in rendered and "opt" not in rendered
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            fig10.run_fig10(switch_counts=(20,), schemes=("chronus", "magic"))
+
 
 @pytest.mark.slow
 class TestFig11:

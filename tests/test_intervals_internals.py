@@ -64,9 +64,10 @@ class TestSplitClass:
     def test_split_partitions_emissions(self, instance):
         cls = self.old_class(instance)
         config = instance.config_at({"v2": 0}, 0)
-        pieces = _split_class(instance, cls, {"v2"}, 0, config, make_report())
-        assert pieces is not None
-        keep, deflected = pieces
+        split = _split_class(instance, cls, {"v2"}, 0, config, make_report())
+        assert split is not None
+        keep, fresh = split
+        (deflected,) = fresh
         # v2 sits at offset 1: emissions >= -1 deflect.
         assert (keep.lo, keep.hi) == (None, -2)
         assert (deflected.lo, deflected.hi) == (-1, None)
@@ -95,10 +96,11 @@ class TestSplitClass:
         # Updating v3 (the final, revisited position) must not resurrect
         # the already-killed units...
         config = instance.config_at({"v3": 0}, 0)
-        pieces = _split_class(instance, looped, {"v3"}, 0, config, make_report())
+        split = _split_class(instance, looped, {"v3"}, 0, config, make_report())
         # ...but the first v3 occurrence (offset 2) still deflects them.
-        assert pieces is not None
-        for piece in pieces:
+        assert split is not None
+        _trim, fresh = split
+        for piece in fresh:
             if piece.outcome == DELIVERED:
                 assert piece.nodes[:3] == ("v1", "v2", "v3")
 
@@ -106,13 +108,13 @@ class TestSplitClass:
         cls = self.old_class(instance)
         config = instance.config_at({"v2": 0, "v4": 0}, 0)
         report = make_report()
-        pieces = _split_class(instance, cls, {"v2", "v4"}, 0, config, report)
+        split = _split_class(instance, cls, {"v2", "v4"}, 0, config, report)
         # Three pieces: keep, deflect-at-v4 (older emissions), deflect-at-v2.
-        assert len(pieces) == 3
-        intervals = sorted((p.lo is None, p.lo, p.hi) for p in pieces)
-        keep = [p for p in pieces if p.nodes == instance.old_path]
-        assert len(keep) == 1
-        assert keep[0].hi == -4  # emissions reaching v4 before t=0
+        assert split is not None
+        keep, fresh = split
+        assert keep is not None and len(fresh) == 2
+        assert keep.nodes == instance.old_path
+        assert keep.hi == -4  # emissions reaching v4 before t=0
 
 
 class TestSweepLink:
@@ -152,6 +154,123 @@ class TestSweepLink:
         spans = _sweep_link(("a", "b"), 1.0, [(-5, 5, 1.0), (-5, 5, 1.0)], 0)
         assert len(spans) == 1
         assert spans[0].start == 0
+
+
+class TestSweepFastPaths:
+    """The sweep's early exits must never change its verdict."""
+
+    def test_total_load_within_capacity_exits_even_with_overlap(self):
+        spans = _sweep_link(("a", "b"), 3.0, [(0, 9, 1.0), (0, 9, 1.0), (0, 9, 1.0)], 0)
+        assert spans == []
+
+    def test_disjoint_open_ended_intervals_exit(self):
+        # Total load exceeds capacity but the intervals never stack.
+        spans = _sweep_link(("a", "b"), 1.0, [(None, 0, 1.0), (1, None, 1.0)], 0)
+        assert spans == []
+
+    def test_fully_open_overlap_reports_precise_clamps(self):
+        # Two always-on streams: the slow path must clamp just outside the
+        # finite coordinates (here: none, so +/-1), not at the sentinels.
+        spans = _sweep_link(("a", "b"), 1.0, [(None, None, 1.0), (None, None, 1.0)], 0)
+        assert len(spans) == 1
+        assert (spans[0].start, spans[0].end) == (0, 1)
+        assert spans[0].load == pytest.approx(2.0)
+
+    def test_empty_intervals_are_ignored(self):
+        spans = _sweep_link(("a", "b"), 1.0, [(5, 3, 1.0), (0, 2, 1.0), (1, 2, 1.0)], 0)
+        assert len(spans) == 1
+        assert (spans[0].start, spans[0].end) == (1, 2)
+
+    def test_matches_brute_force_on_random_inputs(self):
+        import random as _random
+
+        rng = _random.Random(7)
+        for _ in range(200):
+            intervals = []
+            # The sweep's clamping contract allows at most one minus- and
+            # one plus-infinite interval per link (see its docstring).
+            open_lo_left = open_hi_left = 1
+            for _ in range(rng.randint(1, 6)):
+                lo = rng.randint(-8, 8)
+                hi = lo + rng.randint(0, 6)
+                if open_lo_left and rng.random() < 0.15:
+                    lo = None
+                    open_lo_left = 0
+                if open_hi_left and rng.random() < 0.15:
+                    hi = None
+                    open_hi_left = 0
+                intervals.append((lo, hi, rng.choice([0.5, 1.0, 1.5])))
+            capacity = rng.choice([1.0, 1.5, 2.0])
+            spans = _sweep_link(("a", "b"), capacity, intervals, 0)
+            # Brute force over the window the sweep reports in: open ends
+            # are clamped one past the last finite coordinate (the load is
+            # constant beyond it), so only check up to that point.
+            finite = [x for lo, hi, _ in intervals for x in (lo, hi) if x is not None]
+            pos = (max(finite) if finite else 0) + 1
+            for t in range(0, pos + 1):
+                load = sum(
+                    demand
+                    for lo, hi, demand in intervals
+                    if (lo is None or lo <= t) and (hi is None or t <= hi)
+                )
+                covered = any(s.start <= t <= s.end for s in spans)
+                assert covered == (load > capacity + 1e-9), (
+                    f"t={t} load={load} capacity={capacity} intervals={intervals}"
+                )
+
+
+class TestTrimInPlace:
+    """Narrowing commits replace the class object, keeping its id."""
+
+    def test_trim_keeps_class_id_and_narrows_bounds(self, instance):
+        tracker = IntervalTracker(instance)
+        (initial_cid,) = tracker._alive
+        before = tracker._classes[initial_cid]
+        tracker.apply_round(["v2"], 0)
+        # The initial class survives under the same id, trimmed to the
+        # emissions that pass v2 before the update.
+        assert initial_cid in tracker._alive
+        trimmed = tracker._classes[initial_cid]
+        assert trimmed is not before
+        assert trimmed.nodes == before.nodes
+        assert trimmed.hi == -2  # v2 sits at offset 1; threshold 0 - 1
+
+    def test_warm_memo_agrees_with_cold_tracker(self, instance):
+        warm = IntervalTracker(instance)
+        warm.preview_round(["v2"], 0)  # populate the per-link entry memos
+        warm.apply_round(["v2"], 0)
+        warm.preview_round(["v3"], 1)
+        warm.apply_round(["v3"], 1)
+        cold = IntervalTracker(instance)
+        cold.apply_round(["v2"], 0)
+        cold.apply_round(["v3"], 1)
+        assert warm.congestion_spans() == cold.congestion_spans()
+        for link in instance.network.links:
+            key = (link.src, link.dst)
+            assert sorted(
+                warm.link_departure_spans(*key), key=repr
+            ) == sorted(cold.link_departure_spans(*key), key=repr)
+
+    def test_probe_and_commit_matches_preview_apply(self, instance):
+        a = IntervalTracker(instance)
+        b = IntervalTracker(instance)
+        report_a = a.probe_and_commit(["v2"], 0)
+        preview = b.preview_round(["v2"], 0)
+        report_b = b.apply_round(["v2"], 0)
+        assert report_a.ok == preview.ok == report_b.ok
+        assert a.applied == b.applied
+        assert a.congestion_spans() == b.congestion_spans()
+
+    def test_failed_probe_leaves_tracker_untouched(self, instance):
+        tracker = IntervalTracker(
+            instance, background={("v1", "v2"): [(None, None, instance.demand)]}
+        )
+        spans_before = tracker.congestion_spans()
+        report = tracker.probe_and_commit(["v2"], 0)
+        if report.ok:
+            pytest.skip("instance admits the round despite background load")
+        assert tracker.applied == {}
+        assert tracker.congestion_spans() == spans_before
 
 
 class TestNodeIndexConsistency:

@@ -4,7 +4,28 @@ import repro.experiments.paper_scale as paper_scale
 
 
 def test_runner_registry_covers_all_simulation_figures():
-    assert set(paper_scale.RUNNERS) == {"fig7", "fig8", "fig9", "fig10", "fig11"}
+    assert set(paper_scale.RUNNERS) == {
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig10-greedy",
+        "fig11",
+    }
+
+
+def test_fig10_greedy_preset_targets_paper_sizes(monkeypatch):
+    captured = {}
+
+    def fake_run_fig10(**kwargs):
+        captured.update(kwargs)
+        return "ok"
+
+    monkeypatch.setattr(paper_scale.fig10, "run_fig10", fake_run_fig10)
+    assert paper_scale.run_fig10_greedy_paper() == "ok"
+    assert captured["schemes"] == ("chronus",)
+    assert captured["switch_counts"] == paper_scale.PAPER_SIZES_LARGE
+    assert captured["cutoff"] == paper_scale.PAPER_CUTOFF
 
 
 def test_unknown_experiment_rejected(capsys):
