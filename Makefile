@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-full validate validate-fast profile
+.PHONY: test test-fast bench bench-full validate validate-fast profile faults
 
 test:            ## full tier-1 suite + quick conformance gate
 	$(PYTHON) -m pytest -x -q
@@ -24,3 +24,6 @@ bench-full:      ## full-size perf harness (minutes)
 
 profile:         ## phase breakdown of the greedy engine at 6000 switches
 	$(PYTHON) scripts/profile.py
+
+faults:          ## fault-severity ablation: chronus/or/tp under an imperfect control plane
+	$(PYTHON) scripts/faults.py

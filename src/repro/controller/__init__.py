@@ -19,6 +19,7 @@ from repro.controller.channel import (
     ConstantDelayModel,
     ControlChannel,
     DionysusDelayModel,
+    StepDelayModel,
     UniformDelayModel,
 )
 from repro.controller.clock import SwitchClock, synchronized_clocks
@@ -27,6 +28,11 @@ from repro.controller.executor import (
     ExecutionTrace,
     perform_timed_update,
     perform_round_update,
+)
+from repro.controller.resilient import (
+    ResilientTrace,
+    perform_resilient_two_phase,
+    perform_resilient_update,
 )
 
 __all__ = [
@@ -44,6 +50,9 @@ __all__ = [
     "Controller",
     "ManagedSwitch",
     "ExecutionTrace",
+    "ResilientTrace",
     "perform_timed_update",
     "perform_round_update",
+    "perform_resilient_update",
+    "perform_resilient_two_phase",
 ]

@@ -1,11 +1,16 @@
 """The asynchronous controller-to-switch channel.
 
-Rule updates "traverse an asynchronous network and may arrive out-of-order";
-moreover, switches take wildly varying times to *apply* a FlowMod once it
+Rule updates "traverse an asynchronous network and may arrive out-of-order"
+*across switches*; each individual controller<->switch connection is a TCP
+stream, so messages to (and from) one switch are delivered in the order
+they were sent -- the in-order semantics OpenFlow barriers rely on.
+Moreover, switches take wildly varying times to *apply* a FlowMod once it
 arrives (Dionysus measured medians around 50 ms with tails beyond a
 second).  The channel composes a per-message network latency with a
 per-switch rule-installation latency, both drawn from pluggable delay
-models.
+models, and enforces per-connection FIFO delivery: a message sampling a
+short latency still arrives no earlier than the previously sent message on
+the same connection.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Dict, Hashable, Optional
 
 from repro.simulator.engine import Simulator
 
@@ -66,6 +71,25 @@ class DionysusDelayModel(DelayModel):
         return min(value, self.cap)
 
 
+@dataclass(frozen=True)
+class StepDelayModel(DelayModel):
+    """Latency of 0..``max_steps`` whole time steps of ``time_unit`` seconds.
+
+    Keeps realised update times on the analytic integer grid, so a schedule
+    can be read back exactly from an execution trace (the differential
+    replay and the faults ablation both rely on this) while still
+    exercising asynchronous within-round skew.
+    """
+
+    time_unit: float
+    max_steps: int
+
+    def sample(self, rng: random.Random) -> float:
+        if self.max_steps <= 0:
+            return 0.0
+        return rng.randint(0, self.max_steps) * self.time_unit
+
+
 class ControlChannel:
     """Delivers control messages with network + installation latency.
 
@@ -87,12 +111,26 @@ class ControlChannel:
         self.network_delay = network_delay or ConstantDelayModel(0.001)
         self.install_delay = install_delay or DionysusDelayModel()
         self._rng = rng if rng is not None else random.Random()
+        self._last_delivery: Dict[Hashable, float] = {}
 
-    def send(self, deliver: Callable[[], None]) -> float:
-        """Deliver a message after network latency; returns the latency."""
+    def send(self, deliver: Callable[[], None], key: Optional[Hashable] = None) -> float:
+        """Deliver a message after network latency; returns the delay until delivery.
+
+        Args:
+            deliver: Called when the message arrives.
+            key: FIFO stream identity (one per TCP connection direction,
+                e.g. ``("to", switch)``).  Messages sharing a key never
+                overtake each other: each is delivered at
+                ``max(sampled arrival, last delivery on that stream)``.
+                ``None`` keeps the legacy independent-latency behaviour.
+        """
         latency = self.network_delay.sample(self._rng)
-        self._sim.schedule_after(latency, deliver)
-        return latency
+        arrival = self._sim.now + latency
+        if key is not None:
+            arrival = max(arrival, self._last_delivery.get(key, arrival))
+            self._last_delivery[key] = arrival
+        self._sim.schedule_at(arrival, deliver)
+        return arrival - self._sim.now
 
     def draw_install_latency(self) -> float:
         """One switch-side rule-installation latency."""

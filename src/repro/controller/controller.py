@@ -29,7 +29,18 @@ from repro.simulator.switch import DataSwitch
 
 
 class ManagedSwitch:
-    """Control agent of one data-plane switch."""
+    """Control agent of one data-plane switch.
+
+    Attributes:
+        applied_at: True apply time per FlowMod xid.
+        late: Lateness in seconds of Time4 FlowMods whose scheduled
+            execution time had already passed on arrival (the switch clamps
+            execution to "now"; without this record skew experiments
+            under-report why ``max_skew`` grew).
+        faults: Optional fault state (duck-typed, see
+            :class:`repro.faults.SwitchFaultState`): ``crashed(now)``,
+            ``apply_fails()`` and ``stretch_install(latency)`` hooks.
+    """
 
     def __init__(
         self,
@@ -45,12 +56,16 @@ class ManagedSwitch:
         self._outstanding: Set[int] = set()
         self._barriers: List[tuple] = []  # (xid, waiting-for set, reply_fn)
         self.applied_at: Dict[int, float] = {}  # xid -> true apply time
+        self.late: Dict[int, float] = {}  # xid -> seconds past execute_at
+        self.faults = None
 
     # ------------------------------------------------------------------
     # message handling
     # ------------------------------------------------------------------
     def receive(self, message: ControlMessage, reply: Callable[[BarrierReply], None]) -> None:
         """Handle one message arriving from the control channel."""
+        if self.faults is not None and self.faults.crashed(self._sim.now):
+            return  # crash-stop: the agent processes nothing, ever again
         if isinstance(message, BarrierRequest):
             waiting = set(self._outstanding)
             if waiting:
@@ -59,17 +74,35 @@ class ManagedSwitch:
                 self._send_reply(message.xid, reply)
             return
         if isinstance(message, (FlowModAdd, FlowModModify, FlowModDelete)):
+            if message.xid in self._outstanding or message.xid in self.applied_at:
+                return  # duplicate xid (retry or channel duplication): idempotent
             self._outstanding.add(message.xid)
             if message.execute_at is not None:
                 # Time4: pre-programmed execution at a switch-local time.
-                when = max(self._sim.now, self.clock.true_time(message.execute_at))
+                true_when = self.clock.true_time(message.execute_at)
+                if true_when < self._sim.now - 1e-12:
+                    self.late[message.xid] = self._sim.now - true_when
+                when = max(self._sim.now, true_when)
             else:
-                when = self._sim.now + self._channel.draw_install_latency()
+                latency = self._channel.draw_install_latency()
+                if self.faults is not None:
+                    latency = self.faults.stretch_install(latency)
+                when = self._sim.now + latency
             self._sim.schedule_at(when, lambda: self._apply(message))
             return
         raise TypeError(f"unsupported message {message!r}")
 
     def _apply(self, message: ControlMessage) -> None:
+        if self.faults is not None:
+            if self.faults.crashed(self._sim.now):
+                return  # crashed between receipt and execution
+            if self.faults.apply_fails():
+                # The install failed on the switch (OpenFlow would raise an
+                # OFPT_ERROR): no table change, no apply record -- but the
+                # message is processed, so barriers behind it may proceed.
+                self._outstanding.discard(message.xid)
+                self._drain_barriers()
+                return
         table = self.switch.table
         if isinstance(message, FlowModAdd):
             table.add(message.rule)
@@ -95,7 +128,7 @@ class ManagedSwitch:
 
     def _send_reply(self, xid: int, reply: Callable[[BarrierReply], None]) -> None:
         message = BarrierReply(xid=xid, switch=self.switch.name)
-        self._channel.send(lambda: reply(message))
+        self._channel.send(lambda: reply(message), key=("from", self.switch.name))
 
 
 class Controller:
@@ -137,7 +170,10 @@ class Controller:
     def send_flow_mod(self, switch: str, message: ControlMessage) -> int:
         """Send a FlowMod; returns its xid."""
         managed = self._switches[switch]
-        self._channel.send(lambda: managed.receive(message, self._on_barrier_reply))
+        self._channel.send(
+            lambda: managed.receive(message, self._on_barrier_reply),
+            key=("to", switch),
+        )
         return message.xid
 
     def send_barrier(
@@ -148,7 +184,10 @@ class Controller:
         self._barrier_waiters[xid] = on_reply
         managed = self._switches[switch]
         request = BarrierRequest(xid=xid)
-        self._channel.send(lambda: managed.receive(request, self._on_barrier_reply))
+        self._channel.send(
+            lambda: managed.receive(request, self._on_barrier_reply),
+            key=("to", switch),
+        )
         return xid
 
     def _on_barrier_reply(self, reply: BarrierReply) -> None:
@@ -156,9 +195,27 @@ class Controller:
         if waiter is not None:
             waiter(reply)
 
+    def expire_barrier(self, xid: int) -> bool:
+        """Drop the waiter of a barrier whose reply is presumed lost.
+
+        Without this the waiter table leaks forever whenever a reply is
+        dropped (guaranteed under fault injection).  A reply that arrives
+        after expiry is silently ignored.  Returns whether a waiter was
+        still registered.
+        """
+        return self._barrier_waiters.pop(xid, None) is not None
+
+    def pending_barriers(self) -> int:
+        """Barrier requests sent but neither answered nor expired."""
+        return len(self._barrier_waiters)
+
     # ------------------------------------------------------------------
     # observations
     # ------------------------------------------------------------------
     def apply_time(self, switch: str, xid: int) -> Optional[float]:
         """True time at which a FlowMod took effect, if it has."""
         return self._switches[switch].applied_at.get(xid)
+
+    def lateness(self, switch: str, xid: int) -> Optional[float]:
+        """Seconds a scheduled FlowMod arrived past its execution time."""
+        return self._switches[switch].late.get(xid)

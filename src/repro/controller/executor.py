@@ -37,11 +37,16 @@ class ExecutionTrace:
     Attributes:
         planned: Intended true-time execution point per switch.
         applied: Actual true time each switch's rule flip took effect.
+        late: Seconds by which a scheduled (Time4) FlowMod arrived *after*
+            its execution time, per switch -- the switch clamps execution to
+            arrival, so these entries attribute ``max_skew`` to control-
+            channel lateness rather than clock error.
         finished_at: Time the final barrier reply (or last apply) landed.
     """
 
     planned: Dict[Node, float] = field(default_factory=dict)
     applied: Dict[Node, float] = field(default_factory=dict)
+    late: Dict[Node, float] = field(default_factory=dict)
     finished_at: Optional[float] = None
 
     @property
@@ -132,6 +137,9 @@ def perform_timed_update(
             applied = controller.apply_time(node, xid)
             if applied is not None:
                 trace.applied[node] = applied
+                lateness = controller.lateness(node, xid)
+                if lateness is not None:
+                    trace.late[node] = lateness
             else:
                 pending = True
         if pending:

@@ -1,0 +1,524 @@
+"""Resilient execution: retries, idempotence, deadline abort and rollback.
+
+The plain executors (:mod:`repro.controller.executor`) assume a perfect
+control network: every FlowMod arrives, every barrier is answered.  Under a
+:class:`repro.faults.FaultyChannel` that assumption fails silently -- a lost
+reply leaks a barrier waiter forever and a lost FlowMod leaves a stale rule
+in place with nobody noticing.  This module executes the same plans with
+the failure handling a production controller would need:
+
+* every FlowMod is paired with a per-switch barrier acting as its
+  acknowledgement; an unanswered barrier is **retried** after a timeout
+  with exponential backoff, resending the *same* FlowMod (same xid --
+  :class:`~repro.controller.controller.ManagedSwitch` deduplicates, so a
+  retry whose original actually arrived is harmless);
+* a barrier that drains without the FlowMod taking effect (the switch-side
+  apply-failure path) triggers an immediate resend;
+* when a switch exhausts its retries or the overall **deadline** passes,
+  the update is aborted and every switch touched so far is rolled back to
+  its old rule -- mirroring the paper's Section VI note that Chronus
+  recomputes when a switch cannot be scheduled, instead of leaving the
+  network in a half-updated state.
+
+With faults disabled the resilient executor is a drop-in replacement: it
+sends exactly the messages of :func:`~repro.controller.executor.perform_round_update`
+(``strategy="rounds"``) or :func:`~repro.controller.executor.perform_timed_update`
+(``strategy="timed"``) in the same order, so the resulting traces are
+identical -- a property pinned by ``tests/test_resilient.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.controller.controller import Controller
+from repro.controller.executor import ExecutionTrace, _update_message
+from repro.controller.messages import (
+    ControlMessage,
+    FlowModAdd,
+    FlowModDelete,
+    FlowModModify,
+    next_xid,
+)
+from repro.core.instance import UpdateInstance
+from repro.core.schedule import UpdateSchedule
+from repro.network.graph import Node
+from repro.simulator.dataplane import DataPlane
+from repro.simulator.flowtable import FlowRule, Match
+from repro.simulator.switch import HOST_PORT
+
+ROUNDS = "rounds"
+TIMED = "timed"
+
+#: Version tag of the two-phase executor's shadow rules.
+_TP_TAG = 2
+
+
+@dataclass
+class ResilientTrace(ExecutionTrace):
+    """An :class:`ExecutionTrace` plus the resilience bookkeeping.
+
+    Attributes:
+        aborted: The update gave up (retries exhausted or deadline passed).
+        abort_reason: Why, when ``aborted``.
+        retries: FlowMod resends per switch (only switches that needed any).
+        gave_up: Switches that exhausted their retry budget.
+        rolled_back: Switches sent a rollback message during abort, in send
+            order (newest update first).
+    """
+
+    aborted: bool = False
+    abort_reason: str = ""
+    retries: Dict[Node, int] = field(default_factory=dict)
+    gave_up: List[Node] = field(default_factory=list)
+    rolled_back: List[Node] = field(default_factory=list)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+
+@dataclass(frozen=True)
+class _Item:
+    """One switch's message within a batch."""
+
+    node: Node
+    message: ControlMessage
+    planned: Optional[float] = None  # true-time execution point, if scheduled
+
+
+@dataclass(frozen=True)
+class _Batch:
+    """Messages confirmed together; ``settle`` sleeps before the next batch."""
+
+    items: List[_Item]
+    settle: float = 0.0
+
+
+class _ResilientRun:
+    """Drives batches of (FlowMod, barrier) pairs with retry/abort handling."""
+
+    def __init__(
+        self,
+        controller: Controller,
+        sim,
+        batches: List[_Batch],
+        *,
+        rollback: Callable[[_Item, bool], Optional[ControlMessage]],
+        retry_timeout: float,
+        backoff: float,
+        max_retries: int,
+        deadline: Optional[float],
+        trace: ResilientTrace,
+        finished_at_from_applies: bool,
+        on_finish: Optional[Callable[[ResilientTrace], None]],
+    ) -> None:
+        self._controller = controller
+        self._sim = sim
+        self._batches = batches
+        self._rollback = rollback
+        self._retry_timeout = retry_timeout
+        self._backoff = backoff
+        self._max_retries = max_retries
+        self._deadline = deadline
+        self.trace = trace
+        self._finished_at_from_applies = finished_at_from_applies
+        self._on_finish = on_finish
+        self._touched: List[_Item] = []
+        self._current: Dict[Node, _Item] = {}
+        self._pending: set = set()
+        self._attempt: Dict[Node, int] = {}
+        self._barrier_xid: Dict[Node, int] = {}
+        self._timers: Dict[Node, object] = {}
+        self._batch_index = 0
+        self._done = False
+        self._deadline_timer = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._deadline is not None:
+            self._deadline_timer = self._sim.schedule_at(
+                max(self._deadline, self._sim.now), self._on_deadline
+            )
+        self._run_batch(0)
+
+    def _run_batch(self, index: int) -> None:
+        if self._done:
+            return
+        if index >= len(self._batches):
+            self._finish()
+            return
+        self._batch_index = index
+        batch = self._batches[index]
+        # Send every FlowMod first, then every barrier -- the exact message
+        # order of the plain executors, so the channel's rng stream (and
+        # hence the fault-free trace) is identical.
+        for item in batch.items:
+            self.trace.planned[item.node] = (
+                item.planned if item.planned is not None else self._sim.now
+            )
+            self._touched.append(item)
+            self._controller.send_flow_mod(item.node, item.message)
+        self._current = {item.node: item for item in batch.items}
+        self._pending = set(self._current)
+        self._attempt = {node: 0 for node in self._pending}
+        for item in batch.items:
+            self._send_barrier(item.node)
+        for item in batch.items:
+            self._arm(item.node)
+
+    def _finish(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        self._cancel_deadline()
+        self._harvest()
+        if self._finished_at_from_applies:
+            self.trace.finished_at = max(
+                self.trace.applied.values(), default=self._sim.now
+            )
+        else:
+            self.trace.finished_at = self._sim.now
+        if self._on_finish is not None:
+            self._on_finish(self.trace)
+
+    # ------------------------------------------------------------------
+    # acknowledgement plumbing
+    # ------------------------------------------------------------------
+    def _send_barrier(self, node: Node) -> None:
+        self._barrier_xid[node] = self._controller.send_barrier(node, self._on_reply)
+
+    def _arm(self, node: Node) -> None:
+        item = self._current[node]
+        offset = 0.0
+        if item.planned is not None:
+            # Scheduled FlowMods only complete (and ack) at execution time.
+            offset = max(0.0, item.planned - self._sim.now)
+        delay = offset + self._retry_timeout * (self._backoff ** self._attempt[node])
+        self._timers[node] = self._sim.schedule_after(
+            delay, lambda: self._on_timeout(node)
+        )
+
+    def _disarm(self, node: Node) -> None:
+        handle = self._timers.pop(node, None)
+        if handle is not None:
+            self._sim.cancel(handle)
+
+    def _on_reply(self, reply) -> None:
+        node = reply.switch
+        if self._done or node not in self._pending:
+            return
+        item = self._current[node]
+        applied = self._controller.apply_time(node, item.message.xid)
+        if applied is None:
+            # The barrier drained but the install never took effect: the
+            # switch-side apply failed.  Retry immediately.
+            self._disarm(node)
+            self._retry(node)
+            return
+        self._disarm(node)
+        self._pending.discard(node)
+        self.trace.applied[node] = applied
+        lateness = self._controller.lateness(node, item.message.xid)
+        if lateness is not None:
+            self.trace.late[node] = lateness
+        if not self._pending:
+            batch = self._batches[self._batch_index]
+            next_index = self._batch_index + 1
+            if batch.settle > 0:
+                self._sim.schedule_after(
+                    batch.settle, lambda: self._run_batch(next_index)
+                )
+            else:
+                self._run_batch(next_index)
+
+    def _on_timeout(self, node: Node) -> None:
+        if self._done or node not in self._pending:
+            return
+        self._timers.pop(node, None)
+        # The reply is presumed lost: expire the waiter so the controller's
+        # table doesn't leak, then go around again.
+        self._controller.expire_barrier(self._barrier_xid[node])
+        self._retry(node)
+
+    def _retry(self, node: Node) -> None:
+        self._attempt[node] += 1
+        if self._attempt[node] > self._max_retries:
+            self.trace.gave_up.append(node)
+            self._abort(
+                f"switch {node!r} unconfirmed after {self._max_retries} retries"
+            )
+            return
+        if self._deadline is not None and self._sim.now >= self._deadline:
+            self._abort("deadline passed during retry")
+            return
+        self.trace.retries[node] = self.trace.retries.get(node, 0) + 1
+        # Same xid: a retry whose original arrived is deduplicated by the
+        # switch, so resending is always safe.
+        self._controller.send_flow_mod(node, self._current[node].message)
+        self._send_barrier(node)
+        self._arm(node)
+
+    # ------------------------------------------------------------------
+    # abort path
+    # ------------------------------------------------------------------
+    def _on_deadline(self) -> None:
+        if not self._done:
+            self._abort("deadline passed")
+
+    def _cancel_deadline(self) -> None:
+        if self._deadline_timer is not None:
+            self._sim.cancel(self._deadline_timer)
+            self._deadline_timer = None
+
+    def _abort(self, reason: str) -> None:
+        if self._done:
+            return
+        self._done = True
+        self._cancel_deadline()
+        self.trace.aborted = True
+        self.trace.abort_reason = reason
+        for node in list(self._pending):
+            self._disarm(node)
+            xid = self._barrier_xid.get(node)
+            if xid is not None:
+                self._controller.expire_barrier(xid)
+        self._harvest()
+        # Roll back newest-first so dependent flips unwind in reverse order.
+        for item in reversed(self._touched):
+            applied = (
+                self._controller.apply_time(item.node, item.message.xid) is not None
+            )
+            message = self._rollback(item, applied)
+            if message is not None:
+                self._controller.send_flow_mod(item.node, message)
+                self.trace.rolled_back.append(item.node)
+        self.trace.finished_at = self._sim.now
+        if self._on_finish is not None:
+            self._on_finish(self.trace)
+
+    def _harvest(self) -> None:
+        for item in self._touched:
+            applied = self._controller.apply_time(item.node, item.message.xid)
+            if applied is not None:
+                self.trace.applied[item.node] = applied
+                lateness = self._controller.lateness(item.node, item.message.xid)
+                if lateness is not None:
+                    self.trace.late[item.node] = lateness
+
+
+# ----------------------------------------------------------------------
+# rollback message builders
+# ----------------------------------------------------------------------
+def _restore_message(
+    plane: DataPlane, instance: UpdateInstance, node: Node, applied: bool
+) -> Optional[ControlMessage]:
+    """The FlowMod returning ``node`` to its pre-update rule."""
+    old_hop = instance.old_next_hop(node)
+    rule_name = instance.flow.name
+    if old_hop is None:
+        # The update *installed* a fresh rule; removing it only makes sense
+        # (and is only safe -- deletes of absent rules are errors) once the
+        # install actually landed.
+        if not applied:
+            return None
+        return FlowModDelete(xid=next_xid(), rule_name=rule_name)
+    return FlowModModify(
+        xid=next_xid(), rule_name=rule_name, out_port=plane.port_of(node, old_hop)
+    )
+
+
+def perform_resilient_update(
+    controller: Controller,
+    plane: DataPlane,
+    instance: UpdateInstance,
+    schedule: UpdateSchedule,
+    *,
+    strategy: str = ROUNDS,
+    time_unit: float = 1.0,
+    start_at: Optional[float] = None,
+    lead_time: float = 0.5,
+    retry_timeout: Optional[float] = None,
+    backoff: float = 2.0,
+    max_retries: int = 3,
+    deadline: Optional[float] = None,
+    on_finish: Optional[Callable[[ResilientTrace], None]] = None,
+) -> ResilientTrace:
+    """Execute ``schedule`` with acknowledgements, retries and rollback.
+
+    Args:
+        controller: The controller managing the plane's switches.
+        plane: The data plane (for port lookups).
+        instance: The update instance.
+        schedule: The planned switch update times.
+        strategy: ``"rounds"`` (Algorithm 5 pacing: per-step sends, barrier
+            sync, one-time-unit sleeps) or ``"timed"`` (Time4: every FlowMod
+            pre-programmed with its switch-local execution time).
+        time_unit: Seconds per schedule step.
+        start_at: True time of step ``t0`` (timed strategy; default now +
+            ``lead_time``).
+        lead_time: Shipping headroom for the timed strategy.
+        retry_timeout: Base wait for a switch's acknowledgement before
+            resending (default ``4 * time_unit``); grows by ``backoff`` per
+            attempt.  Scheduled FlowMods wait until their execution time
+            plus this.
+        backoff: Exponential backoff factor.
+        max_retries: Resends per switch before the update aborts.
+        deadline: Absolute true time after which the update aborts and
+            rolls back (``None``: no deadline).
+        on_finish: Called with the trace on completion *or* abort.
+
+    Returns:
+        A :class:`ResilientTrace`; with faults disabled it matches the
+        plain executor's trace exactly.
+    """
+    sim = plane.sim
+    if retry_timeout is None:
+        retry_timeout = 4.0 * time_unit
+    trace = ResilientTrace()
+
+    batches: List[_Batch] = []
+    if strategy == ROUNDS:
+        for _, nodes in schedule.rounds():
+            items = [
+                _Item(node=node, message=_update_message(plane, instance, node, None))
+                for node in nodes
+            ]
+            batches.append(_Batch(items=items, settle=time_unit))
+        finished_from_applies = False
+    elif strategy == TIMED:
+        if start_at is None:
+            start_at = sim.now + lead_time
+        items = []
+        for node, step in schedule.items():
+            when_true = start_at + (step - schedule.t0) * time_unit
+            local = controller.managed(node).clock.local_time(when_true)
+            items.append(
+                _Item(
+                    node=node,
+                    message=_update_message(plane, instance, node, execute_at=local),
+                    planned=when_true,
+                )
+            )
+        batches.append(_Batch(items=items, settle=0.0))
+        finished_from_applies = True
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    run = _ResilientRun(
+        controller,
+        sim,
+        batches,
+        rollback=lambda item, applied: _restore_message(
+            plane, instance, item.node, applied
+        ),
+        retry_timeout=retry_timeout,
+        backoff=backoff,
+        max_retries=max_retries,
+        deadline=deadline,
+        trace=trace,
+        finished_at_from_applies=finished_from_applies,
+        on_finish=on_finish,
+    )
+    run.start()
+    return trace
+
+
+def perform_resilient_two_phase(
+    controller: Controller,
+    plane: DataPlane,
+    instance: UpdateInstance,
+    flip_at: float,
+    *,
+    retry_timeout: float = 4.0,
+    backoff: float = 2.0,
+    max_retries: int = 3,
+    deadline: Optional[float] = None,
+    on_finish: Optional[Callable[[ResilientTrace], None]] = None,
+) -> ResilientTrace:
+    """Two-phase update with acknowledged installs and a guarded flip.
+
+    Batch 1 installs the version-tagged shadow configuration (traffic-
+    invisible, so retries are free); once *every* install is confirmed,
+    batch 2 ships the ingress flip scheduled for true time ``flip_at``.
+    Abort rolls back: the flip is undone (untagged, old next hop) and every
+    confirmed shadow rule deleted.
+
+    Returns:
+        A :class:`ResilientTrace`; ``applied[source]`` is the realised flip
+        time.
+    """
+    sim = plane.sim
+    trace = ResilientTrace()
+    dst_prefix = str(instance.destination)
+    rule_name = f"{instance.flow.name}#v2"
+
+    install_items: List[_Item] = []
+    for node, nxt in instance.new_config.items():
+        rule = FlowRule(
+            name=rule_name,
+            match=Match(dst_prefix=dst_prefix, tag=_TP_TAG),
+            out_port=plane.port_of(node, nxt),
+            priority=1,
+        )
+        install_items.append(
+            _Item(node=node, message=FlowModAdd(xid=next_xid(), rule=rule))
+        )
+    install_items.append(
+        _Item(
+            node=instance.destination,
+            message=FlowModAdd(
+                xid=next_xid(),
+                rule=FlowRule(
+                    name=rule_name,
+                    match=Match(dst_prefix=dst_prefix, tag=_TP_TAG),
+                    out_port=HOST_PORT,
+                    priority=1,
+                ),
+            ),
+        )
+    )
+
+    source = instance.source
+    flip_local = controller.managed(source).clock.local_time(flip_at)
+    flip = FlowModModify(
+        xid=next_xid(),
+        rule_name=instance.flow.name,
+        out_port=plane.port_of(source, instance.new_next_hop(source)),
+        set_tag=_TP_TAG,
+        execute_at=flip_local,
+    )
+    flip_item = _Item(node=source, message=flip, planned=flip_at)
+
+    def rollback(item: _Item, applied: bool) -> Optional[ControlMessage]:
+        if item is flip_item:
+            # Unflip the ingress: back to the old next hop, stamp removed.
+            old_hop = instance.old_next_hop(source)
+            return FlowModModify(
+                xid=next_xid(),
+                rule_name=instance.flow.name,
+                out_port=plane.port_of(source, old_hop),
+                set_tag=None,
+            )
+        if not applied:
+            return None  # the shadow rule never landed; nothing to delete
+        return FlowModDelete(xid=next_xid(), rule_name=rule_name)
+
+    run = _ResilientRun(
+        controller,
+        sim,
+        [_Batch(items=install_items), _Batch(items=[flip_item])],
+        rollback=rollback,
+        retry_timeout=retry_timeout,
+        backoff=backoff,
+        max_retries=max_retries,
+        deadline=deadline,
+        trace=trace,
+        finished_at_from_applies=True,
+        on_finish=on_finish,
+    )
+    run.start()
+    return trace

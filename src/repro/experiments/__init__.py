@@ -15,8 +15,29 @@ each module documents the paper's original scale and the knobs to reach it.
 | fig10     | Fig. 10 -- scheduler running time vs. network size            |
 | fig11     | Fig. 11 -- CDF of the update time, Chronus vs. OPT            |
 | walkthrough | Figs. 1/2/5 -- the Section II motivating example            |
+| faults_ablation | Beyond the paper: consistency vs. control-plane faults  |
 """
 
-from repro.experiments import fig6, fig7, fig8, fig9, fig10, fig11, table2, walkthrough
+from repro.experiments import (
+    faults_ablation,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table2,
+    walkthrough,
+)
 
-__all__ = ["table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "walkthrough"]
+__all__ = [
+    "table2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "walkthrough",
+    "faults_ablation",
+]

@@ -1,0 +1,470 @@
+"""Faults ablation: consistency and completion time vs. fault severity.
+
+The paper evaluates Chronus over a well-behaved control plane; this
+experiment asks what each scheme's guarantees are *worth* when that
+assumption degrades.  A :class:`repro.faults.FaultPlan` (message loss and
+duplication, switch apply-failures, crash-stop, stragglers, optional clock
+drift) is scaled by a single severity knob and applied to seeded reroute
+instances from the figures' ``mixed_instance`` workload; each scheme runs
+through the resilient executor (:mod:`repro.controller.resilient`) with
+retries, idempotent resends and a deadline-triggered rollback.
+
+Consistency is judged by the independent oracle of :mod:`repro.validate`:
+
+* a run that **completes** has its realised update times read back off the
+  integer time grid (all latencies are whole time steps, as in the
+  differential replay) and re-verified with :func:`verify_schedule` /
+  :func:`verify_two_phase` -- a violation means the *realised* schedule
+  broke Definition 2/3 even though every switch acknowledged;
+* a run that **aborts** (retries exhausted, crash, deadline) is judged by
+  the fluid plane itself: any black-holed volume or over-capacity link
+  after the update started counts as a violation.
+
+Every record also cross-checks oracle and plane: a clean verdict with a
+dirty plane (drops or congestion the verifier missed) sets
+``oracle_agrees = False`` and fails ``scripts/faults.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.controller import Controller
+from repro.controller.channel import ConstantDelayModel, StepDelayModel
+from repro.controller.resilient import (
+    ResilientTrace,
+    perform_resilient_two_phase,
+    perform_resilient_update,
+)
+from repro.core.greedy import greedy_schedule
+from repro.core.instance import UpdateInstance
+from repro.core.schedule import UpdateSchedule, schedule_from_rounds
+from repro.core.verdict import Verdict
+from repro.experiments.sweep import mixed_instance, sweep_seed
+from repro.faults import FaultPlan, FaultyChannel, severity_spec
+from repro.simulator.dataplane import build_dataplane, install_config
+from repro.simulator.engine import Simulator
+from repro.updates.order_replacement import minimize_rounds
+from repro.validate import verify_schedule, verify_two_phase
+
+SCHEMES = ("chronus", "or", "tp")
+
+#: Fault-plan seed separator so the plan's streams never mirror the
+#: channel's latency stream (both descend from the instance seed).
+_FAULT_STREAM = 0xFA17
+
+#: Default severity grid of the ablation axis (0 = perfect network).
+DEFAULT_SEVERITIES = (0.0, 0.25, 0.5, 1.0)
+
+
+@dataclass(frozen=True)
+class FaultRunRecord:
+    """One scheme's outcome on one faulted instance.
+
+    Attributes:
+        scheme: ``"chronus"`` / ``"or"`` / ``"tp"``.
+        severity: Fault severity of this run.
+        seed: The instance seed (``sweep_seed`` contract).
+        completed: Every switch acknowledged and the update finished.
+        aborted: The resilient executor gave up and rolled back.
+        violated: Consistency was lost -- by the oracle's verdict when the
+            run completed, by fluid evidence (drops/congestion) otherwise.
+        verdict_ok: The oracle's judgement of the realised schedule
+            (``None`` for aborted or off-grid runs, where no realised
+            schedule exists on the integer grid).
+        oracle_agrees: ``False`` when a clean verdict coexists with a dirty
+            fluid plane -- the cross-check :mod:`scripts.faults` gates on.
+            ``None`` when the verdict does not apply.
+        completion_steps: Update duration in schedule steps (completed
+            runs; abort runs report the time until rollback finished).
+        retries: Total FlowMod resends across switches.
+        rolled_back: Switches rolled back during abort.
+        late: Scheduled FlowMods that arrived after their execution time.
+        dropped/duplicated/apply_failures: The fault plan's message tally.
+        crashed: Crash-stopped switches.
+        off_grid: A realised apply missed the integer time grid (clock
+            drift); the verdict is then computed on rounded times.
+        fluid_clean: The fluid plane saw no drops and no over-capacity
+            link after the update began.
+        abort_reason: Why the run aborted, when it did.
+    """
+
+    scheme: str
+    severity: float
+    seed: int
+    completed: bool
+    aborted: bool
+    violated: bool
+    verdict_ok: Optional[bool]
+    oracle_agrees: Optional[bool]
+    completion_steps: Optional[float]
+    retries: int
+    rolled_back: int
+    late: int
+    dropped: int
+    duplicated: int
+    apply_failures: int
+    crashed: int
+    off_grid: bool
+    fluid_clean: bool
+    abort_reason: str = ""
+
+
+@dataclass
+class FaultsAblationResult:
+    """All runs of one ablation sweep plus the aggregate curves."""
+
+    severities: Tuple[float, ...]
+    schemes: Tuple[str, ...]
+    instances_per_point: int
+    records: List[FaultRunRecord] = field(default_factory=list)
+
+    def _select(self, scheme: str, severity: float) -> List[FaultRunRecord]:
+        return [
+            r for r in self.records if r.scheme == scheme and r.severity == severity
+        ]
+
+    def violation_rate(self, scheme: str, severity: float) -> float:
+        """Fraction of runs (completed or not) that lost consistency."""
+        runs = self._select(scheme, severity)
+        if not runs:
+            return 0.0
+        return sum(r.violated for r in runs) / len(runs)
+
+    def abort_rate(self, scheme: str, severity: float) -> float:
+        runs = self._select(scheme, severity)
+        if not runs:
+            return 0.0
+        return sum(r.aborted for r in runs) / len(runs)
+
+    def mean_completion(self, scheme: str, severity: float) -> Optional[float]:
+        """Mean completion time (steps) over the runs that completed."""
+        steps = [
+            r.completion_steps
+            for r in self._select(scheme, severity)
+            if r.completed and r.completion_steps is not None
+        ]
+        if not steps:
+            return None
+        return sum(steps) / len(steps)
+
+    def mean_retries(self, scheme: str, severity: float) -> float:
+        runs = self._select(scheme, severity)
+        if not runs:
+            return 0.0
+        return sum(r.retries for r in runs) / len(runs)
+
+    @property
+    def oracle_disagreements(self) -> List[FaultRunRecord]:
+        return [r for r in self.records if r.oracle_agrees is False]
+
+    @property
+    def oracle_ok(self) -> bool:
+        """No run where the verdict and the fluid plane told different stories."""
+        return not self.oracle_disagreements
+
+    def render(self) -> str:
+        lines = [
+            "Faults ablation -- consistency vs. control-plane fault severity",
+            f"({self.instances_per_point} instances/point; violation = lost "
+            "consistency, judged by repro.validate on completed runs and by "
+            "the fluid plane on aborted ones)",
+            "",
+            f"{'scheme':<8} {'severity':>8} {'violation%':>10} {'abort%':>7} "
+            f"{'mean steps':>10} {'retries':>8}",
+        ]
+        for scheme in self.schemes:
+            for severity in self.severities:
+                completion = self.mean_completion(scheme, severity)
+                lines.append(
+                    f"{scheme:<8} {severity:>8.2f} "
+                    f"{100 * self.violation_rate(scheme, severity):>9.1f}% "
+                    f"{100 * self.abort_rate(scheme, severity):>6.1f}% "
+                    f"{completion if completion is not None else float('nan'):>10.2f} "
+                    f"{self.mean_retries(scheme, severity):>8.2f}"
+                )
+            lines.append("")
+        if self.oracle_ok:
+            lines.append("oracle cross-check: verdict and fluid plane agree on every run")
+        else:
+            lines.append(
+                f"oracle cross-check: {len(self.oracle_disagreements)} "
+                "DISAGREEMENT(S) -- clean verdict over a dirty plane:"
+            )
+            for r in self.oracle_disagreements:
+                lines.append(
+                    f"  {r.scheme} severity={r.severity:g} seed={r.seed}"
+                )
+        return "\n".join(lines)
+
+
+def run_faults_ablation(
+    severities: Sequence[float] = DEFAULT_SEVERITIES,
+    instances_per_point: int = 5,
+    switch_count: int = 8,
+    base_seed: int = 7,
+    schemes: Sequence[str] = SCHEMES,
+    time_unit: float = 1.0,
+    deadline_steps: int = 60,
+    max_retries: int = 3,
+    drift_bound: float = 0.0,
+    or_node_budget: int = 20_000,
+    progress: Optional[Callable[[FaultRunRecord], None]] = None,
+) -> FaultsAblationResult:
+    """Sweep every scheme over every severity on seeded reroute instances.
+
+    Args:
+        severities: Fault-severity grid (0 disables all faults).
+        instances_per_point: Seeded instances per (scheme, severity) cell;
+            the same instances are reused across cells so curves are
+            paired.
+        switch_count: Network size of every instance.
+        base_seed: Base of the ``sweep_seed`` contract.
+        schemes: Subset of ``("chronus", "or", "tp")``.
+        time_unit: True seconds per schedule step.
+        deadline_steps: Abort-and-roll-back deadline, in steps after the
+            update starts.
+        max_retries: FlowMod resends per switch before giving up.
+        drift_bound: Clock-drift magnitude bound in seconds (0 keeps every
+            realised apply on the integer grid, so the oracle is exact).
+        or_node_budget: Branch-and-bound budget of OR's round minimiser.
+        progress: Called with each finished :class:`FaultRunRecord`.
+    """
+    unknown = set(schemes) - set(SCHEMES)
+    if unknown:
+        raise ValueError(f"unknown scheme(s): {sorted(unknown)}")
+    result = FaultsAblationResult(
+        severities=tuple(severities),
+        schemes=tuple(schemes),
+        instances_per_point=instances_per_point,
+    )
+    for index in range(instances_per_point):
+        seed = sweep_seed(base_seed, switch_count, index)
+        instance = mixed_instance(switch_count, seed)
+        plans = _plan_schemes(instance, schemes, or_node_budget)
+        for severity in severities:
+            for scheme in schemes:
+                record = _run_one(
+                    scheme,
+                    instance,
+                    plans[scheme],
+                    severity=severity,
+                    seed=seed,
+                    time_unit=time_unit,
+                    deadline_steps=deadline_steps,
+                    max_retries=max_retries,
+                    drift_bound=drift_bound,
+                )
+                result.records.append(record)
+                if progress is not None:
+                    progress(record)
+    return result
+
+
+def _plan_schemes(
+    instance: UpdateInstance, schemes: Sequence[str], or_node_budget: int
+) -> Dict[str, Optional[UpdateSchedule]]:
+    """Plan each scheme once per instance (plans are severity-independent)."""
+    plans: Dict[str, Optional[UpdateSchedule]] = {}
+    for scheme in schemes:
+        if scheme == "chronus":
+            plans[scheme] = greedy_schedule(instance).schedule
+        elif scheme == "or":
+            plans[scheme] = schedule_from_rounds(
+                minimize_rounds(instance, node_budget=or_node_budget).rounds
+            )
+        else:  # tp plans nothing: install shadow rules, flip the ingress
+            plans[scheme] = None
+    return plans
+
+
+def _run_one(
+    scheme: str,
+    instance: UpdateInstance,
+    schedule: Optional[UpdateSchedule],
+    *,
+    severity: float,
+    seed: int,
+    time_unit: float,
+    deadline_steps: int,
+    max_retries: int,
+    drift_bound: float,
+) -> FaultRunRecord:
+    """Execute one scheme on one instance under one fault severity."""
+    sim = Simulator()
+    plane = build_dataplane(sim, instance.network, delay_scale=time_unit)
+    install_config(plane, instance)
+
+    warmup_steps = instance.old_path_delay + 2
+    start_true = warmup_steps * time_unit
+    deadline_true = start_true + deadline_steps * time_unit
+
+    spec = severity_spec(
+        severity,
+        crash_window=(start_true, start_true + 0.75 * deadline_steps * time_unit),
+        drift_bound=drift_bound,
+    )
+    fault_plan = FaultPlan(spec, seed=seed ^ _FAULT_STREAM)
+    channel = FaultyChannel(
+        sim,
+        fault_plan,
+        network_delay=ConstantDelayModel(0.0),
+        install_delay=StepDelayModel(time_unit=time_unit, max_steps=1),
+        rng=random.Random(seed),
+    )
+    controller = Controller(sim, channel)
+    for switch in plane.switches.values():
+        controller.manage(switch)
+    fault_plan.wire(controller)
+    plane.inject_flow(
+        instance.source, "h1", str(instance.destination), rate=instance.demand
+    )
+
+    retry_timeout = 4 * time_unit
+    trace_holder: List[ResilientTrace] = []
+    if scheme == "chronus":
+        assert schedule is not None
+        trace_holder.append(
+            perform_resilient_update(
+                controller, plane, instance, schedule,
+                strategy="timed", time_unit=time_unit, start_at=start_true,
+                retry_timeout=retry_timeout, max_retries=max_retries,
+                deadline=deadline_true,
+            )
+        )
+    elif scheme == "or":
+        assert schedule is not None
+        or_schedule = schedule
+        sim.schedule_at(
+            start_true,
+            lambda: trace_holder.append(
+                perform_resilient_update(
+                    controller, plane, instance, or_schedule,
+                    strategy="rounds", time_unit=time_unit,
+                    retry_timeout=retry_timeout, max_retries=max_retries,
+                    deadline=deadline_true,
+                )
+            ),
+        )
+    elif scheme == "tp":
+        trace_holder.append(
+            perform_resilient_two_phase(
+                controller, plane, instance, start_true + 3 * time_unit,
+                retry_timeout=retry_timeout, max_retries=max_retries,
+                deadline=deadline_true,
+            )
+        )
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+    # The deadline guarantees the run resolves (finish or abort) by
+    # ``deadline_true``; the extra margin lets rollback messages land and
+    # the fluid plane settle before it is judged.
+    sim.run(until=deadline_true + 10 * time_unit)
+
+    trace = trace_holder[0] if trace_holder else ResilientTrace()
+    completed = trace.finished_at is not None and not trace.aborted
+    t0 = schedule.t0 if schedule is not None else 0
+
+    verdict: Optional[Verdict] = None
+    off_grid = False
+    if completed:
+        if scheme == "tp":
+            flip_step, off_grid = _to_step(
+                trace.applied.get(instance.source), start_true, time_unit, t0
+            )
+            if flip_step is not None:
+                verdict = verify_two_phase(instance, flip_step, t0=t0)
+        else:
+            realized, off_grid = _realized_schedule(
+                trace, schedule, start_true, time_unit
+            )
+            if realized is not None:
+                verdict = verify_schedule(instance, realized)
+
+    drop_tolerance = 1e-6 * time_unit * max(1.0, instance.demand)
+    dropped_volume = plane.total_dropped_volume()
+    congested = any(
+        link.peak_utilization(since=start_true) > link.capacity + 1e-6
+        for link in plane.links.values()
+    )
+    fluid_clean = dropped_volume <= drop_tolerance and not congested
+
+    if verdict is not None and not off_grid:
+        violated = not verdict.ok
+        # One-directional cross-check: a clean verdict must mean a clean
+        # plane.  (A dirty verdict may leave no fluid trace -- e.g. a loop
+        # the rollback resolved before much volume circulated.)
+        oracle_agrees: Optional[bool] = (not verdict.ok) or fluid_clean
+    else:
+        violated = not fluid_clean
+        oracle_agrees = None
+
+    completion_steps: Optional[float] = None
+    if trace.finished_at is not None:
+        completion_steps = (trace.finished_at - start_true) / time_unit
+
+    return FaultRunRecord(
+        scheme=scheme,
+        severity=severity,
+        seed=seed,
+        completed=completed,
+        aborted=trace.aborted,
+        violated=violated,
+        verdict_ok=None if verdict is None or off_grid else verdict.ok,
+        oracle_agrees=oracle_agrees,
+        completion_steps=completion_steps,
+        retries=trace.total_retries,
+        rolled_back=len(trace.rolled_back),
+        late=len(trace.late),
+        dropped=fault_plan.stats.dropped,
+        duplicated=fault_plan.stats.duplicated,
+        apply_failures=fault_plan.stats.apply_failures,
+        crashed=len(fault_plan.stats.crashed),
+        off_grid=off_grid,
+        fluid_clean=fluid_clean,
+        abort_reason=trace.abort_reason,
+    )
+
+
+def _realized_schedule(
+    trace: ResilientTrace,
+    schedule: UpdateSchedule,
+    start_true: float,
+    time_unit: float,
+) -> Tuple[Optional[UpdateSchedule], bool]:
+    """Map the trace's apply times back onto integer schedule steps."""
+    t0 = schedule.t0
+    times: Dict = {}
+    off_grid = False
+    for node in schedule.times:
+        step, off = _to_step(trace.applied.get(node), start_true, time_unit, t0)
+        if step is None:
+            return None, off_grid
+        off_grid = off_grid or off
+        times[node] = step
+    return UpdateSchedule(times=times, start_time=min([t0, *times.values()])), off_grid
+
+
+def _to_step(
+    applied: Optional[float], start_true: float, time_unit: float, t0: int
+) -> Tuple[Optional[int], bool]:
+    """One apply time as an integer step; flags off-grid applies."""
+    if applied is None:
+        return None, False
+    exact = (applied - start_true) / time_unit
+    step = round(exact)
+    return t0 + step, abs(exact - step) > 1e-6
+
+
+def main() -> str:
+    result = run_faults_ablation()
+    text = result.render()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

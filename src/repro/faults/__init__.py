@@ -1,0 +1,35 @@
+"""Fault injection for the control plane (the robustness testbed).
+
+The paper's model assumes FlowMods arrive and fire on time; this package
+makes every assumption breakable -- deterministically, from a seed -- so the
+executors' resilience (retries, idempotence, deadline rollback; see
+:mod:`repro.controller.resilient`) and the protocols' degradation curves
+(:mod:`repro.experiments.faults_ablation`) become measurable.
+
+* :class:`FaultSpec` / :func:`severity_spec` -- the fault mix and the
+  one-scalar ablation axis;
+* :class:`FaultPlan` -- all of one run's fault state, reproducible from
+  ``(spec, seed)``;
+* :class:`FaultyChannel` -- a control channel that loses/duplicates
+  messages on plan;
+* :class:`SwitchFaultState` -- one switch's drawn fate (crash-stop instant,
+  straggler factor, clock drift, apply-failure stream).
+"""
+
+from repro.faults.channel import FaultyChannel
+from repro.faults.plan import (
+    FaultPlan,
+    FaultSpec,
+    FaultStats,
+    SwitchFaultState,
+    severity_spec,
+)
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyChannel",
+    "SwitchFaultState",
+    "severity_spec",
+]

@@ -1,0 +1,49 @@
+"""A control channel that loses and duplicates messages on plan.
+
+:class:`FaultyChannel` is a drop-in :class:`~repro.controller.channel.ControlChannel`
+whose ``send`` consults a :class:`~repro.faults.plan.FaultPlan` before
+delivering.  Both directions run through it -- FlowMods and barrier
+requests on the way down, barrier replies on the way up -- so reply loss
+(the case that leaks ``Controller._barrier_waiters`` without the resilient
+executor's expiry path) is exercised too.
+
+Loss and duplication leave per-switch FIFO semantics intact: a dropped
+message simply never arrives (it does not constrain later deliveries --
+the model is the switch agent connection resetting, not a TCP segment
+vanishing), and a duplicate is a second FIFO-ordered delivery.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable, Optional
+
+from repro.controller.channel import ControlChannel, DelayModel
+from repro.faults.plan import FaultPlan
+from repro.simulator.engine import Simulator
+
+
+class FaultyChannel(ControlChannel):
+    """Delivers control messages subject to a deterministic fault plan."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        plan: FaultPlan,
+        network_delay: Optional[DelayModel] = None,
+        install_delay: Optional[DelayModel] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(sim, network_delay=network_delay, install_delay=install_delay, rng=rng)
+        self.plan = plan
+
+    def send(self, deliver: Callable[[], None], key: Optional[Hashable] = None) -> float:
+        if self.plan.drop_message():
+            # The message vanishes; report the latency it would have had so
+            # callers that budget on the return value stay well-behaved.
+            return self.network_delay.sample(self._rng)
+        latency = super().send(deliver, key)
+        if self.plan.duplicate_message():
+            # A second, independently delayed (but still FIFO) delivery.
+            super().send(deliver, key)
+        return latency

@@ -29,7 +29,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.controller.channel import ConstantDelayModel, ControlChannel, DelayModel
+from repro.controller.channel import (
+    ConstantDelayModel,
+    ControlChannel,
+    StepDelayModel,
+)
 from repro.controller.controller import Controller
 from repro.controller.executor import (
     ExecutionTrace,
@@ -57,22 +61,9 @@ _DEFAULT_EXECUTORS = {"chronus": TIMED, "opt": TIMED, "or": ROUNDS, "tp": TWO_PH
 _TP_TAG = 2
 
 
-@dataclass(frozen=True)
-class _IntegerStepLatency(DelayModel):
-    """Rule-installation latency of 0..max_steps whole time steps.
-
-    Keeps realised update times on the analytic integer grid so the
-    replayed schedule can be read back exactly from the execution trace
-    while still exercising OR's asynchronous within-round skew.
-    """
-
-    time_unit: float
-    max_steps: int
-
-    def sample(self, rng: random.Random) -> float:
-        if self.max_steps <= 0:
-            return 0.0
-        return rng.randint(0, self.max_steps) * self.time_unit
+#: Integer-grid installation latency (promoted to the channel module so the
+#: faults ablation shares it); the old private name is kept as an alias.
+_IntegerStepLatency = StepDelayModel
 
 
 @dataclass(frozen=True)

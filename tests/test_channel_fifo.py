@@ -1,0 +1,169 @@
+"""Regression: per-switch FIFO delivery on the control channel.
+
+Each controller<->switch connection is a TCP stream, so messages to one
+switch must be delivered in send order.  The channel used to sample every
+latency independently, letting a barrier request overtake its round's
+FlowMod under a wide-variance delay model -- ``perform_round_update`` then
+advanced to the next round (or declared the update finished) while the
+overtaken FlowMod was still in flight.  The pinned seeds below reproduce
+both observable symptoms against a keyless channel and must stay clean
+under the real FIFO-keyed one.
+"""
+
+import random
+
+import pytest
+
+from repro.controller import (
+    ConstantDelayModel,
+    ControlChannel,
+    Controller,
+    UniformDelayModel,
+    perform_round_update,
+)
+from repro.controller.channel import DelayModel
+from repro.core.greedy import greedy_schedule
+from repro.core.instance import motivating_example
+from repro.simulator import Simulator, build_dataplane
+from repro.simulator.dataplane import install_config
+
+#: Wide latency spread so a late send can sample a shorter delay than an
+#: earlier one; the inter-round sleep is 0.5 s, well below the spread.
+WIDE_DELAY = (0.001, 2.0)
+TIME_UNIT = 0.5
+
+#: Seeds found by scanning 0..59 against the pre-fix (keyless) channel:
+#: the first two finish a round while its FlowMod is still in flight, the
+#: last two apply a later round's update before an earlier round's.
+MISSING_AT_FINISH_SEEDS = (1, 50)
+INVERTED_ROUND_SEEDS = (22, 26)
+
+
+class KeylessChannel(ControlChannel):
+    """The pre-fix behaviour: every latency independent, no FIFO streams."""
+
+    def send(self, deliver, key=None):
+        return super().send(deliver, key=None)
+
+
+class ScriptedDelay(DelayModel):
+    """Returns a scripted latency sequence (ignores the rng)."""
+
+    def __init__(self, values):
+        self.values = list(values)
+
+    def sample(self, rng):
+        return self.values.pop(0)
+
+
+def run_rounds(seed, channel_cls):
+    """One round-by-round update under wide latency variance.
+
+    Returns ``(schedule, snapshot)`` where ``snapshot`` is the applied map
+    at the instant the executor declared the update finished.
+    """
+    instance = motivating_example()
+    sim = Simulator()
+    plane = build_dataplane(sim, instance.network, delay_scale=1.0)
+    install_config(plane, instance)
+    channel = channel_cls(
+        sim,
+        network_delay=UniformDelayModel(*WIDE_DELAY),
+        install_delay=ConstantDelayModel(0.01),
+        rng=random.Random(seed),
+    )
+    controller = Controller(sim, channel)
+    for switch in plane.switches.values():
+        controller.manage(switch)
+
+    schedule = greedy_schedule(instance).schedule
+    snapshots = []
+    perform_round_update(
+        controller, plane, instance, schedule, time_unit=TIME_UNIT,
+        on_finish=lambda trace: snapshots.append(dict(trace.applied)),
+    )
+    sim.run(until=200.0)
+    assert snapshots, "round executor never finished"
+    return schedule, snapshots[0]
+
+
+def round_violations(schedule, snapshot):
+    """FIFO symptoms visible in one finish-time snapshot."""
+    problems = []
+    for node in schedule.times:
+        if node not in snapshot:
+            problems.append(f"{node} missing at finish")
+    rounds = schedule.rounds()
+    for (_, earlier), (_, later) in zip(rounds, rounds[1:]):
+        if not all(n in snapshot for n in (*earlier, *later)):
+            continue
+        if max(snapshot[n] for n in earlier) >= min(snapshot[n] for n in later):
+            problems.append("rounds inverted")
+    return problems
+
+
+class TestChannelFifoUnit:
+    def test_same_key_never_overtakes(self):
+        sim = Simulator()
+        channel = ControlChannel(
+            sim, network_delay=ScriptedDelay([1.0, 0.1]), rng=random.Random(0)
+        )
+        order = []
+        channel.send(lambda: order.append("first"), key=("to", "v1"))
+        channel.send(lambda: order.append("second"), key=("to", "v1"))
+        sim.run(until=5.0)
+        assert order == ["first", "second"]
+
+    def test_second_message_held_to_stream_front(self):
+        sim = Simulator()
+        channel = ControlChannel(
+            sim, network_delay=ScriptedDelay([1.0, 0.1]), rng=random.Random(0)
+        )
+        times = {}
+        channel.send(lambda: times.setdefault("a", sim.now), key=("to", "v1"))
+        delay = channel.send(lambda: times.setdefault("b", sim.now), key=("to", "v1"))
+        sim.run(until=5.0)
+        # The 0.1 s sample is stretched to the stream front at t=1.0.
+        assert delay == pytest.approx(1.0)
+        assert times["b"] == pytest.approx(times["a"])
+
+    def test_distinct_keys_stay_independent(self):
+        sim = Simulator()
+        channel = ControlChannel(
+            sim, network_delay=ScriptedDelay([1.0, 0.1]), rng=random.Random(0)
+        )
+        order = []
+        channel.send(lambda: order.append("v1"), key=("to", "v1"))
+        channel.send(lambda: order.append("v2"), key=("to", "v2"))
+        sim.run(until=5.0)
+        assert order == ["v2", "v1"]
+
+    def test_keyless_send_keeps_independent_latencies(self):
+        sim = Simulator()
+        channel = ControlChannel(
+            sim, network_delay=ScriptedDelay([1.0, 0.1]), rng=random.Random(0)
+        )
+        order = []
+        channel.send(lambda: order.append("first"))
+        channel.send(lambda: order.append("second"))
+        sim.run(until=5.0)
+        assert order == ["second", "first"]
+
+
+class TestRoundUpdateRegression:
+    """The executor-level symptom the FIFO streams exist to prevent."""
+
+    @pytest.mark.parametrize("seed", MISSING_AT_FINISH_SEEDS + INVERTED_ROUND_SEEDS)
+    def test_fifo_channel_keeps_rounds_consistent(self, seed):
+        schedule, snapshot = run_rounds(seed, ControlChannel)
+        assert round_violations(schedule, snapshot) == []
+
+    @pytest.mark.parametrize("seed", MISSING_AT_FINISH_SEEDS)
+    def test_keyless_channel_finishes_with_flowmod_in_flight(self, seed):
+        schedule, snapshot = run_rounds(seed, KeylessChannel)
+        assert any("missing" in p for p in round_violations(schedule, snapshot))
+
+    @pytest.mark.parametrize("seed", INVERTED_ROUND_SEEDS)
+    def test_keyless_channel_inverts_round_order(self, seed):
+        schedule, snapshot = run_rounds(seed, KeylessChannel)
+        assert "rounds inverted" in round_violations(schedule, snapshot)

@@ -1,0 +1,328 @@
+"""The resilient executor: fault-free parity, retries, rollback, hygiene.
+
+The load-bearing property is the differential one: with faults disabled the
+resilient executor must produce a byte-identical
+:class:`~repro.controller.executor.ExecutionTrace` to the plain executors --
+same planned times, same applied times, same finish instant -- because it
+sends exactly the same messages in the same order (so every latency draw
+lands on the same message).  Everything else here exercises what the plain
+executors cannot survive: lost messages, duplicate deliveries, failed
+installs, crash-stop switches and deadlines.
+"""
+
+import random
+
+import pytest
+
+from repro.controller import (
+    ConstantDelayModel,
+    ControlChannel,
+    Controller,
+    DionysusDelayModel,
+    UniformDelayModel,
+    perform_resilient_two_phase,
+    perform_resilient_update,
+    perform_round_update,
+    perform_timed_update,
+)
+from repro.core.greedy import greedy_schedule
+from repro.core.instance import motivating_example
+from repro.experiments.sweep import mixed_instance
+from repro.faults import FaultPlan, FaultSpec, FaultyChannel
+from repro.simulator import Simulator, build_dataplane
+from repro.simulator.dataplane import install_config
+
+
+def make_world(seed, instance=None, spec=None, network_delay=None, install_delay=None):
+    """One simulated world; a benign world and a faulted world with the
+    same seed draw identical latencies for identical send sequences."""
+    instance = instance or motivating_example()
+    sim = Simulator()
+    plane = build_dataplane(sim, instance.network, delay_scale=1.0)
+    install_config(plane, instance)
+    network_delay = network_delay or UniformDelayModel(0.01, 0.5)
+    install_delay = install_delay or DionysusDelayModel(median=0.1, sigma=1.0, cap=1.0)
+    if spec is None:
+        channel = ControlChannel(
+            sim, network_delay=network_delay, install_delay=install_delay,
+            rng=random.Random(seed),
+        )
+        plan = None
+    else:
+        plan = FaultPlan(spec, seed=seed)
+        channel = FaultyChannel(
+            sim, plan, network_delay=network_delay, install_delay=install_delay,
+            rng=random.Random(seed),
+        )
+    controller = Controller(sim, channel)
+    for switch in plane.switches.values():
+        controller.manage(switch)
+    if plan is not None:
+        plan.wire(controller)
+    plane.inject_flow(instance.source, "h1", str(instance.destination), rate=1.0)
+    return instance, sim, plane, controller
+
+
+def trace_fingerprint(trace):
+    return (dict(trace.planned), dict(trace.applied), trace.finished_at)
+
+
+def rule_of(plane, node, name):
+    return next(rule for rule in plane.switch(node).table.rules if rule.name == name)
+
+
+class TestFaultFreeParity:
+    """Differential test: resilient == plain executors, byte for byte."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rounds_trace_identical(self, seed):
+        instance, sim, plane, controller = make_world(seed)
+        schedule = greedy_schedule(instance).schedule
+        plain = perform_round_update(controller, plane, instance, schedule, time_unit=1.0)
+        sim.run(until=120.0)
+
+        instance2, sim2, plane2, controller2 = make_world(seed)
+        resilient = perform_resilient_update(
+            controller2, plane2, instance2, schedule, strategy="rounds", time_unit=1.0
+        )
+        sim2.run(until=120.0)
+
+        assert trace_fingerprint(resilient) == trace_fingerprint(plain)
+        assert not resilient.aborted
+        assert resilient.total_retries == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_timed_trace_identical(self, seed):
+        instance, sim, plane, controller = make_world(seed)
+        schedule = greedy_schedule(instance).schedule
+        plain = perform_timed_update(
+            controller, plane, instance, schedule, time_unit=1.0, start_at=5.0
+        )
+        sim.run(until=120.0)
+
+        instance2, sim2, plane2, controller2 = make_world(seed)
+        resilient = perform_resilient_update(
+            controller2, plane2, instance2, schedule,
+            strategy="timed", time_unit=1.0, start_at=5.0,
+        )
+        sim2.run(until=120.0)
+
+        assert trace_fingerprint(resilient) == trace_fingerprint(plain)
+        assert resilient.late == plain.late == {}
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_parity_on_sweep_instances(self, seed):
+        instance = mixed_instance(8, 1000 + seed)
+        _, sim, plane, controller = make_world(seed, instance=instance)
+        schedule = greedy_schedule(instance).schedule
+        plain = perform_round_update(controller, plane, instance, schedule, time_unit=1.0)
+        sim.run(until=200.0)
+
+        _, sim2, plane2, controller2 = make_world(seed, instance=instance)
+        resilient = perform_resilient_update(
+            controller2, plane2, instance, schedule, strategy="rounds", time_unit=1.0
+        )
+        sim2.run(until=200.0)
+        assert trace_fingerprint(resilient) == trace_fingerprint(plain)
+
+
+class TestRetries:
+    def test_recovers_from_message_loss(self):
+        completed = 0
+        for seed in range(10):
+            spec = FaultSpec(drop_rate=0.25, duplicate_rate=0.15)
+            instance, sim, plane, controller = make_world(seed, spec=spec)
+            schedule = greedy_schedule(instance).schedule
+            trace = perform_resilient_update(
+                controller, plane, instance, schedule,
+                strategy="rounds", time_unit=1.0, retry_timeout=4.0, max_retries=4,
+            )
+            sim.run(until=400.0)
+            assert trace.finished_at is not None  # finished or aborted, never hung
+            # Barrier-waiter hygiene: nothing leaks even when replies drop.
+            assert controller.pending_barriers() == 0
+            if not trace.aborted:
+                completed += 1
+                assert set(trace.applied) == set(schedule.times)
+        assert completed >= 8  # retries recover the overwhelming majority
+
+    def test_duplicate_deliveries_are_idempotent(self):
+        spec = FaultSpec(duplicate_rate=1.0)
+        instance, sim, plane, controller = make_world(0, spec=spec)
+        schedule = greedy_schedule(instance).schedule
+        trace = perform_resilient_update(
+            controller, plane, instance, schedule, strategy="rounds", time_unit=1.0
+        )
+        sim.run(until=200.0)
+        assert not trace.aborted
+        assert trace.total_retries == 0  # every first copy was acknowledged
+        assert set(trace.applied) == set(schedule.times)
+        for node in schedule.times:
+            port = plane.port_of(node, instance.new_config[node])
+            assert rule_of(plane, node, instance.flow.name).out_port == port
+        assert controller.pending_barriers() == 0
+
+    def test_apply_failure_triggers_resend(self):
+        class FailFirst:
+            def __init__(self):
+                self.calls = 0
+
+            def crashed(self, now):
+                return False
+
+            def apply_fails(self):
+                self.calls += 1
+                return self.calls == 1
+
+            def stretch_install(self, latency):
+                return latency
+
+        instance, sim, plane, controller = make_world(0)
+        schedule = greedy_schedule(instance).schedule
+        victim = next(iter(schedule.times))
+        controller.managed(victim).faults = FailFirst()
+        trace = perform_resilient_update(
+            controller, plane, instance, schedule,
+            strategy="rounds", time_unit=1.0, retry_timeout=2.0,
+        )
+        sim.run(until=200.0)
+        assert not trace.aborted
+        assert trace.retries.get(victim, 0) >= 1
+        assert victim in trace.applied
+
+
+class TestAbortAndRollback:
+    class CrashAt:
+        def __init__(self, at):
+            self.at = at
+
+        def crashed(self, now):
+            return now >= self.at
+
+        def apply_fails(self):
+            return False
+
+        def stretch_install(self, latency):
+            return latency
+
+    def test_crash_stop_aborts_and_rolls_back(self):
+        instance, sim, plane, controller = make_world(
+            0, network_delay=ConstantDelayModel(0.01),
+            install_delay=ConstantDelayModel(0.05),
+        )
+        schedule = greedy_schedule(instance).schedule
+        rounds = schedule.rounds()
+        victim = next(iter(rounds[-1][1]))  # last round: earlier rounds apply first
+        controller.managed(victim).faults = self.CrashAt(0.0)
+        trace = perform_resilient_update(
+            controller, plane, instance, schedule,
+            strategy="rounds", time_unit=1.0, retry_timeout=2.0, max_retries=2,
+        )
+        sim.run(until=300.0)
+        assert trace.aborted
+        assert victim in trace.gave_up
+        assert trace.rolled_back  # every switch updated before the crash
+        sim.run(until=sim.now + 20.0)  # let rollback messages land
+        for node in trace.rolled_back:
+            if node == victim:
+                continue  # a crashed switch processes nothing, including rollback
+            rule = rule_of(plane, node, instance.flow.name)
+            assert rule.out_port == plane.port_of(node, instance.old_config[node])
+        # Waiter hygiene even though the crashed switch never replied.
+        assert controller.pending_barriers() == 0
+
+    def test_rollback_is_newest_first(self):
+        instance, sim, plane, controller = make_world(
+            0, network_delay=ConstantDelayModel(0.01),
+            install_delay=ConstantDelayModel(0.05),
+        )
+        schedule = greedy_schedule(instance).schedule
+        rounds = schedule.rounds()
+        assert len(rounds) >= 2
+        victim = next(iter(rounds[-1][1]))
+        controller.managed(victim).faults = self.CrashAt(0.0)
+        trace = perform_resilient_update(
+            controller, plane, instance, schedule,
+            strategy="rounds", time_unit=1.0, retry_timeout=2.0, max_retries=1,
+        )
+        sim.run(until=300.0)
+        assert trace.aborted
+        # Touched-but-unconfirmed switches (the crashed one) are rolled back
+        # too -- their FlowMod may still be in flight; among the *applied*
+        # ones the unwind must run newest-first.
+        confirmed = [n for n in trace.rolled_back if n in trace.applied]
+        assert confirmed == sorted(
+            confirmed, key=lambda n: trace.applied[n], reverse=True
+        )
+        assert len(confirmed) >= 2
+
+    def test_deadline_abort_under_heavy_loss(self):
+        spec = FaultSpec(drop_rate=0.9)
+        instance, sim, plane, controller = make_world(3, spec=spec)
+        schedule = greedy_schedule(instance).schedule
+        trace = perform_resilient_update(
+            controller, plane, instance, schedule,
+            strategy="timed", time_unit=1.0, start_at=5.0,
+            retry_timeout=3.0, max_retries=10, deadline=20.0,
+        )
+        sim.run(until=100.0)
+        assert trace.aborted
+        assert "deadline" in trace.abort_reason
+        assert trace.finished_at == pytest.approx(20.0)
+        assert controller.pending_barriers() == 0
+
+
+class TestResilientTwoPhase:
+    def test_fault_free_flip_lands_on_time(self):
+        instance, sim, plane, controller = make_world(
+            0, network_delay=ConstantDelayModel(0.01),
+            install_delay=ConstantDelayModel(0.05),
+        )
+        trace = perform_resilient_two_phase(controller, plane, instance, flip_at=8.0)
+        sim.run(until=60.0)
+        assert not trace.aborted
+        assert trace.applied[instance.source] == pytest.approx(8.0)
+        ingress = rule_of(plane, instance.source, instance.flow.name)
+        assert ingress.set_tag == 2
+        assert controller.pending_barriers() == 0
+
+    def test_abort_unflips_and_deletes_shadow_rules(self):
+        class CrashAt:
+            def __init__(self, at):
+                self.at = at
+
+            def crashed(self, now):
+                return now >= self.at
+
+            def apply_fails(self):
+                return False
+
+            def stretch_install(self, latency):
+                return latency
+
+        instance, sim, plane, controller = make_world(
+            0, network_delay=ConstantDelayModel(0.01),
+            install_delay=ConstantDelayModel(0.05),
+        )
+        victims = [n for n in instance.new_config if n != instance.source]
+        victim = victims[0]
+        controller.managed(victim).faults = CrashAt(0.0)
+        trace = perform_resilient_two_phase(
+            controller, plane, instance, flip_at=8.0,
+            retry_timeout=2.0, max_retries=2,
+        )
+        sim.run(until=300.0)
+        assert trace.aborted
+        assert victim in trace.gave_up
+        sim.run(until=sim.now + 20.0)
+        shadow = f"{instance.flow.name}#v2"
+        for node in trace.rolled_back:
+            if node == victim:
+                continue
+            assert shadow not in plane.switch(node).table
+        ingress = rule_of(plane, instance.source, instance.flow.name)
+        assert ingress.set_tag is None
+        assert ingress.out_port == plane.port_of(
+            instance.source, instance.old_config[instance.source]
+        )
+        assert controller.pending_barriers() == 0

@@ -272,3 +272,44 @@ class TestMonitorStop:
         monitor.start()
         with pytest.raises(RuntimeError):
             monitor.start()
+
+    def test_restart_rebaselines_counters(self):
+        """The first sample after a restart must not integrate the gap.
+
+        Traffic keeps flowing while the monitor is stopped; ``start`` must
+        re-read the byte counters so the gap's volume is not folded into
+        the first post-restart interval's rate.
+        """
+        instance, sim, plane = self.build()
+        plane.inject_flow("v1", "h1", "v6", rate=2.0)
+        monitor = BandwidthMonitor(plane, interval=1.0, links=[("v1", "v2")])
+        monitor.start()
+        sim.run(until=3.5)
+        monitor.stop()
+        sim.run(until=8.0)  # 4.5 unmonitored seconds at 2 Mbps
+        monitor.start()
+        sim.run(until=10.5)
+        series = monitor.link_series("v1", "v2")
+        assert len(series) == 5  # 3 before the gap + 2 after
+        # Every sample reads the steady rate; the 9 Mbit gap volume never
+        # shows up as a spike.
+        assert all(s.mbps == pytest.approx(2.0) for s in series)
+        assert series[3].time == pytest.approx(9.0)
+
+    def test_restart_after_rate_change_measures_new_rate(self):
+        instance, sim, plane = self.build()
+        plane.inject_flow("v1", "h1", "v6", rate=3.0)
+        monitor = BandwidthMonitor(plane, interval=1.0, links=[("v1", "v2")])
+        monitor.start()
+        sim.run(until=2.5)
+        monitor.stop()
+        plane.switches["v1"].receive(
+            PacketContext(in_port=HOST_PORT, src_prefix="h1", dst_prefix="v6"),
+            rate=0.5,
+        )
+        sim.run(until=6.0)
+        monitor.start()
+        sim.run(until=8.5)
+        series = monitor.link_series("v1", "v2")
+        assert [s.mbps for s in series[:2]] == [pytest.approx(3.0)] * 2
+        assert [s.mbps for s in series[-2:]] == [pytest.approx(0.5)] * 2
