@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-full validate validate-fast profile faults
+.PHONY: test test-fast bench bench-full validate validate-fast profile faults pipeline-smoke
 
 test:            ## full tier-1 suite + quick conformance gate
 	$(PYTHON) -m pytest -x -q
@@ -27,3 +27,6 @@ profile:         ## phase breakdown of the greedy engine at 6000 switches
 
 faults:          ## fault-severity ablation: chronus/or/tp under an imperfect control plane
 	$(PYTHON) scripts/faults.py
+
+pipeline-smoke:  ## kill-and-resume a tiny scenario; gate on byte-identical records
+	$(PYTHON) scripts/pipeline_smoke.py

@@ -26,7 +26,6 @@ Exit status is non-zero when a measured invariant fails:
 
 from __future__ import annotations
 
-import argparse
 import sys
 import time
 from pathlib import Path
@@ -38,6 +37,7 @@ for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
 
 from benchmarks import perf_harness  # noqa: E402  (path setup above)
 from repro.perf import perf  # noqa: E402
+from repro.pipeline.cli import add_quick_flag, script_parser  # noqa: E402
 from repro.validate.gate import run_gate  # noqa: E402
 
 SLOWDOWN_LIMIT = 1.2
@@ -84,10 +84,8 @@ def greedy_regression(record, history):
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick", action="store_true", help="small sizes for smoke runs"
-    )
+    parser = script_parser(__doc__)
+    add_quick_flag(parser, "small sizes for smoke runs")
     parser.add_argument(
         "--workers", type=int, default=4, help="pool size for the sweep benchmark"
     )

@@ -24,7 +24,6 @@ bit-for-bit anywhere.
 
 from __future__ import annotations
 
-import argparse
 import sys
 import time
 from pathlib import Path
@@ -39,10 +38,17 @@ from repro.experiments.faults_ablation import (  # noqa: E402
     SCHEMES,
     run_faults_ablation,
 )
+from repro.pipeline.cli import (  # noqa: E402
+    add_quick_flag,
+    add_quiet_flag,
+    finish_progress,
+    progress_printer,
+    script_parser,
+)
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = script_parser(__doc__)
     parser.add_argument(
         "-n",
         "--instances",
@@ -86,25 +92,19 @@ def main(argv=None) -> int:
         default=60,
         help="abort deadline in steps after the update starts (default 60)",
     )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="2 instances/point -- the smoke configuration",
-    )
-    parser.add_argument(
-        "--quiet", action="store_true", help="suppress the progress line"
-    )
+    add_quick_flag(parser, "2 instances/point -- the smoke configuration")
+    add_quiet_flag(parser)
     args = parser.parse_args(argv)
 
     instances = 2 if args.quick else args.instances
     total = instances * len(args.severities) * len(args.schemes)
     done = 0
+    tick = progress_printer("fault run", quiet=args.quiet)
 
     def progress(record) -> None:
         nonlocal done
         done += 1
-        if not args.quiet:
-            print(f"\r  ran {done}/{total} fault runs", end="", flush=True)
+        tick(done, total)
 
     started = time.monotonic()
     result = run_faults_ablation(
@@ -117,8 +117,7 @@ def main(argv=None) -> int:
         drift_bound=args.drift,
         progress=progress,
     )
-    if not args.quiet:
-        print()
+    finish_progress(quiet=args.quiet)
     elapsed = time.monotonic() - started
     print(result.render())
     print(f"({elapsed:.1f}s)")

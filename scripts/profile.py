@@ -16,8 +16,6 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -30,10 +28,11 @@ if SRC not in sys.path:
 from repro.core.greedy import greedy_schedule  # noqa: E402
 from repro.core.instance import segmented_instance  # noqa: E402
 from repro.perf import perf  # noqa: E402
+from repro.pipeline.cli import emit_json, script_parser  # noqa: E402
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = script_parser(__doc__)
     parser.add_argument(
         "--size", type=int, default=6000, help="switches to update (default 6000)"
     )
@@ -65,7 +64,7 @@ def main(argv=None) -> int:
         f"feasible={result.feasible} makespan={result.makespan}"
     )
     if args.json:
-        print(json.dumps(perf.snapshot(), indent=2))
+        emit_json(perf.snapshot())
     else:
         print(perf.report())
     return 0

@@ -20,7 +20,6 @@ contract), so a failure reproduces anywhere.
 
 from __future__ import annotations
 
-import argparse
 import sys
 import time
 from pathlib import Path
@@ -30,11 +29,18 @@ SRC = str(REPO_ROOT / "src")
 if SRC not in sys.path:
     sys.path.insert(0, SRC)
 
+from repro.pipeline.cli import (  # noqa: E402
+    add_quick_flag,
+    add_quiet_flag,
+    finish_progress,
+    progress_printer,
+    script_parser,
+)
 from repro.validate.gate import DEFAULT_PROTOCOLS, run_gate  # noqa: E402
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = script_parser(__doc__)
     parser.add_argument(
         "-n",
         "--instances",
@@ -59,26 +65,18 @@ def main(argv=None) -> int:
         choices=list(DEFAULT_PROTOCOLS),
         help="protocols to gate (default: all four)",
     )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="8 instances -- the default `make test` smoke configuration",
+    add_quick_flag(
+        parser, "8 instances -- the default `make test` smoke configuration"
     )
     parser.add_argument(
         "--no-replay",
         action="store_true",
         help="skip the fluid differential replay (planner<->verifier only)",
     )
-    parser.add_argument(
-        "--quiet", action="store_true", help="suppress the progress line"
-    )
+    add_quiet_flag(parser)
     args = parser.parse_args(argv)
 
     instances = 8 if args.quick else args.instances
-
-    def progress(done: int, total: int) -> None:
-        if not args.quiet:
-            print(f"\r  validated {done}/{total} instances", end="", flush=True)
 
     started = time.monotonic()
     report = run_gate(
@@ -87,10 +85,9 @@ def main(argv=None) -> int:
         base_seed=args.base_seed,
         protocols=tuple(args.protocols),
         replay=not args.no_replay,
-        progress=progress,
+        progress=progress_printer("validated instance", quiet=args.quiet),
     )
-    if not args.quiet:
-        print()
+    finish_progress(quiet=args.quiet)
     elapsed = time.monotonic() - started
     print(report.describe())
     print(f"({elapsed:.1f}s)")

@@ -1,21 +1,29 @@
 """The evaluation harness: one module per table/figure of the paper.
 
-Every experiment exposes ``run_*`` returning structured results and a
-``main``-style entry point printing the paper's rows/series.  Default
-parameters are scaled so the whole harness finishes in minutes on a laptop;
-each module documents the paper's original scale and the knobs to reach it.
+Every experiment registers a declarative :class:`repro.pipeline.Scenario`
+(run them with ``python -m repro.experiments run <name>``) and keeps its
+legacy ``run_*`` entry point returning the same structured result.
+Default parameters are scaled so the whole harness finishes in minutes on
+a laptop; each scenario carries ``paper_params`` with the knobs of the
+paper's original scale (``run --paper``).
 
-| Module    | Reproduces                                                    |
-|-----------|---------------------------------------------------------------|
-| table2    | Table II -- flow tables at source and destination switches    |
-| fig6      | Fig. 6 -- bandwidth consumption over time during an update    |
-| fig7      | Fig. 7 -- percentage of congestion cases vs. network size     |
-| fig8      | Fig. 8 -- congested time-extended links vs. network size      |
-| fig9      | Fig. 9 -- forwarding-rule overhead, Chronus vs. two-phase     |
-| fig10     | Fig. 10 -- scheduler running time vs. network size            |
-| fig11     | Fig. 11 -- CDF of the update time, Chronus vs. OPT            |
-| walkthrough | Figs. 1/2/5 -- the Section II motivating example            |
-| faults_ablation | Beyond the paper: consistency vs. control-plane faults  |
+| Scenario      | Reproduces                                                  |
+|---------------|-------------------------------------------------------------|
+| table2        | Table II -- flow tables at source and destination switches  |
+| fig6          | Fig. 6 -- bandwidth consumption over time during an update  |
+| fig7          | Fig. 7 -- percentage of congestion cases vs. network size   |
+| fig8          | Fig. 8 -- congested time-extended links vs. network size    |
+| fig9          | Fig. 9 -- forwarding-rule overhead, Chronus vs. two-phase   |
+| fig10         | Fig. 10 -- scheduler running time vs. network size          |
+| fig10-greedy  | Fig. 10's Chronus-only large-scale variant                  |
+| fig11         | Fig. 11 -- CDF of the update time, Chronus vs. OPT          |
+| walkthrough   | Figs. 1/2/5 -- the Section II motivating example            |
+| faults        | Beyond the paper: consistency vs. control-plane faults      |
+| sweep         | Section V-B's raw instance sweep with every knob exposed    |
+
+Importing this package populates the scenario registry; the registry's
+``_ensure_loaded`` does exactly that, so library users never import the
+experiment modules directly just to resolve a name.
 """
 
 from repro.experiments import (
@@ -26,6 +34,7 @@ from repro.experiments import (
     fig9,
     fig10,
     fig11,
+    sweep,
     table2,
     walkthrough,
 )
@@ -38,6 +47,7 @@ __all__ = [
     "fig9",
     "fig10",
     "fig11",
+    "sweep",
     "walkthrough",
     "faults_ablation",
 ]

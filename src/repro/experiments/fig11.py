@@ -2,19 +2,32 @@
 
 Paper: 400 switches; most Chronus updates finish within 15 time units and
 OPT within 13 -- Chronus achieves near-optimal update times.
+
+Pipeline scenario ``fig11``: candidate instances are a static index grid
+(so runs are resumable), evaluated in index order; the scenario's
+``enough`` predicate stops the run once the target number of instances
+contributed.  Only feasible instances contribute (the paper's update time
+is defined for completed congestion-free updates), so serial, parallel
+and resumed runs collect the identical sample -- the first ``instances``
+contributing indices.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.stats import cdf_points, percentile
 from repro.analysis.timeseries import render_table
 from repro.core.greedy import greedy_schedule
-from repro.core.instance import segmented_instance
 from repro.core.optimal import optimal_schedule
-from repro.runtime import ParallelRunner
+from repro.core.instance import segmented_instance
+from repro.pipeline.context import RunContext, WorkerContext
+from repro.pipeline.runner import run_in_memory
+from repro.pipeline.scenario import Scenario, register
+
+#: Candidate indices evaluated per requested instance before giving up.
+ATTEMPT_FACTOR = 10
 
 
 @dataclass
@@ -54,26 +67,82 @@ class Fig11Result:
         return table + summary
 
 
-@dataclass(frozen=True)
-class _SampleItem:
-    """One candidate instance of the Fig. 11 sample collection."""
+def _items(params: Mapping) -> List[Dict[str, object]]:
+    base_seed = int(params["base_seed"])
+    switch_count = int(params["switch_count"])
+    attempts = int(params["instances"]) * ATTEMPT_FACTOR
+    return [
+        {
+            "key": f"i{index}",
+            "index": index,
+            "switch_count": switch_count,
+            "seed": base_seed * 11_000_003 + switch_count * 17 + index,
+        }
+        for index in range(attempts)
+    ]
 
-    switch_count: int
-    seed: int
-    opt_budget: float
 
-
-def _sample_one(item: _SampleItem) -> Optional[Tuple[int, int]]:
-    """Worker: ``(chronus makespan, opt makespan)``, or ``None`` when the
+def _evaluate(item: Mapping, params: Mapping, ctx: WorkerContext) -> Dict[str, object]:
+    """One candidate: ``chronus``/``opt`` makespans, or nulls when the
     instance does not contribute (greedy infeasible / OPT empty-handed)."""
-    instance = segmented_instance(item.switch_count, seed=item.seed)
+    instance = segmented_instance(int(item["switch_count"]), seed=int(item["seed"]))
+    record: Dict[str, object] = {
+        "key": item["key"],
+        "index": item["index"],
+        "seed": item["seed"],
+        "chronus": None,
+        "opt": None,
+    }
     greedy = greedy_schedule(instance)
     if not greedy.feasible:
-        return None
-    opt = optimal_schedule(instance, time_budget=item.opt_budget)
+        return record
+    opt = optimal_schedule(instance, time_budget=float(params["opt_budget"]))
     if opt.schedule is None:
-        return None
-    return (greedy.schedule.makespan, opt.schedule.makespan)
+        return record
+    record["chronus"] = greedy.schedule.makespan
+    record["opt"] = opt.schedule.makespan
+    return record
+
+
+def _contributors(records: Sequence[Mapping]) -> List[Mapping]:
+    ordered = sorted(records, key=lambda r: int(r["index"]))
+    return [r for r in ordered if r["chronus"] is not None]
+
+
+def _enough(records: Sequence[Mapping], params: Mapping) -> bool:
+    return len(_contributors(records)) >= int(params["instances"])
+
+
+def _aggregate(records: Sequence[Mapping], params: Mapping) -> Fig11Result:
+    sample = _contributors(records)[: int(params["instances"])]
+    return Fig11Result(
+        chronus_times=[int(r["chronus"]) for r in sample],
+        opt_times=[int(r["opt"]) for r in sample],
+    )
+
+
+SCENARIO = register(
+    Scenario(
+        name="fig11",
+        title="CDF of the update time, Chronus vs. OPT",
+        paper="Fig. 11",
+        description=(
+            "Seeded candidate instances evaluated in index order until the "
+            "target sample size contributed; records carry both makespans."
+        ),
+        defaults={
+            "switch_count": 400,
+            "instances": 30,
+            "base_seed": 5,
+            "opt_budget": 2.0,
+        },
+        items=_items,
+        evaluate=_evaluate,
+        aggregate=_aggregate,
+        enough=_enough,
+        paper_params={"instances": 500, "opt_budget": 10.0},
+    )
+)
 
 
 def run_fig11(
@@ -87,41 +156,22 @@ def run_fig11(
 
     Paper scale: 400 switches with the locally-rerouted (segmented
     reversal) workload; OPT runs under an anytime budget and contributes
-    its incumbent.  Only feasible instances contribute (the paper's update
-    time is defined for completed congestion-free updates).
-
-    Candidates are evaluated in index-ordered batches (parallel when
-    ``max_workers > 1``) but always *consumed* serially in index order, so
-    the sample -- the first ``instances`` contributing indices within the
-    attempt budget -- is identical for any worker count; a parallel run
-    may merely evaluate a few candidates past the stopping point.
+    its incumbent.  Candidates are evaluated in index-ordered batches
+    (parallel when ``max_workers > 1``) but always *consumed* serially in
+    index order, so the sample is identical for any worker count; a
+    parallel run may merely evaluate a few candidates past the stopping
+    point.
     """
-    chronus_times: List[int] = []
-    opt_times: List[int] = []
-    max_attempts = instances * 10
-    runner = ParallelRunner(max_workers=max_workers, chunk_size=1)
-    batch_size = max(1, max_workers) * 2
-    attempts = 0
-    index = 0
-    while len(chronus_times) < instances and attempts < max_attempts:
-        batch = [
-            _SampleItem(
-                switch_count=switch_count,
-                seed=base_seed * 11_000_003 + switch_count * 17 + (index + i),
-                opt_budget=opt_budget,
-            )
-            for i in range(min(batch_size, max_attempts - attempts))
-        ]
-        index += len(batch)
-        for sample in runner.map(_sample_one, batch):
-            attempts += 1
-            if sample is None:
-                continue
-            chronus_times.append(sample[0])
-            opt_times.append(sample[1])
-            if len(chronus_times) >= instances:
-                break
-    return Fig11Result(chronus_times=chronus_times, opt_times=opt_times)
+    return run_in_memory(
+        "fig11",
+        overrides={
+            "switch_count": switch_count,
+            "instances": instances,
+            "base_seed": base_seed,
+            "opt_budget": opt_budget,
+        },
+        ctx=RunContext(workers=max_workers),
+    )
 
 
 def main() -> str:

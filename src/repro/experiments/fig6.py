@@ -11,13 +11,19 @@ timed schedule via Time4-style scheduled FlowMods, TP flips the ingress tag
 after installing the versioned rules, and OR pushes round by round through
 the asynchronous control channel with Dionysus-shaped installation
 latencies.
+
+Pipeline scenario ``fig6``: one record per scheme (the bandwidth series of
+the hottest link plus the peak utilisation); because the execution runs on
+the discrete-event plane, the run context's optional fault severity is
+honoured -- ``run --fault-severity 0.5 fig6`` replays the same update over
+a lossy control channel.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.controller import (
     ConstantDelayModel,
@@ -30,8 +36,10 @@ from repro.controller import (
 )
 from repro.core.greedy import greedy_schedule
 from repro.core.instance import UpdateInstance, instance_from_topology
-from repro.core.schedule import UpdateSchedule
 from repro.network.topology import two_path_topology
+from repro.pipeline.context import RunContext, WorkerContext
+from repro.pipeline.runner import run_in_memory
+from repro.pipeline.scenario import Scenario, register
 from repro.simulator import BandwidthMonitor, Simulator, build_dataplane
 from repro.simulator.dataplane import install_config
 from repro.simulator.flowtable import FlowRule, Match
@@ -60,6 +68,79 @@ class Fig6Result:
         return table + f"\npeaks: {peaks} Mbps"
 
 
+def _items(params: Mapping) -> List[Dict[str, object]]:
+    return [{"key": scheme, "scheme": scheme} for scheme in params["schemes"]]
+
+
+def _evaluate(item: Mapping, params: Mapping, ctx: WorkerContext) -> Dict[str, object]:
+    """Run one scheme on the (seed-regenerated) rerouted topology."""
+    seed = int(params["seed"])
+    capacity = float(params["capacity_mbps"])
+    topo = two_path_topology(
+        int(params["switch_count"]),
+        rng=random.Random(seed),
+        capacity=capacity,
+        max_delay=int(params["max_delay_steps"]),
+    )
+    instance = instance_from_topology(topo, demand=capacity)
+    monitor, plane = _run_scheme(
+        str(item["scheme"]),
+        instance,
+        seed,
+        float(params["duration"]),
+        float(params["update_at"]),
+        float(params["delay_scale"]),
+        fault_severity=ctx.fault_severity,
+    )
+    hottest = monitor.peak_series()
+    return {
+        "key": item["key"],
+        "scheme": item["scheme"],
+        "series": [[s.time, s.mbps] for s in hottest],
+        "peak": max(plane.links[link].peak_utilization() for link in plane.links),
+        "capacity": capacity,
+    }
+
+
+def _aggregate(records: Sequence[Mapping], params: Mapping) -> Fig6Result:
+    series = {
+        str(r["scheme"]): [(float(t), float(m)) for t, m in r["series"]]
+        for r in records
+    }
+    peaks = {str(r["scheme"]): float(r["peak"]) for r in records}
+    return Fig6Result(
+        series=series, peaks=peaks, capacity=float(params["capacity_mbps"])
+    )
+
+
+SCENARIO = register(
+    Scenario(
+        name="fig6",
+        title="Link bandwidth consumption over time during an update",
+        paper="Fig. 6",
+        description=(
+            "One discrete-event execution per scheme on the same rerouted "
+            "10-switch topology; records carry the hottest link's bandwidth "
+            "series and the peak utilisation."
+        ),
+        defaults={
+            "schemes": SCHEMES,
+            "seed": 3,
+            "switch_count": 10,
+            "capacity_mbps": 5.0,
+            "duration": 30.0,
+            "update_at": 5.0,
+            "delay_scale": 1.0,
+            "max_delay_steps": 3,
+        },
+        items=_items,
+        evaluate=_evaluate,
+        aggregate=_aggregate,
+        paper_params={"duration": 60.0},
+    )
+)
+
+
 def run_fig6(
     seed: int = 3,
     switch_count: int = 10,
@@ -81,26 +162,19 @@ def run_fig6(
             ``step * delay_scale`` seconds, paper range 5 ms - 1 s).
         max_delay_steps: Link delays drawn from ``[1, max_delay_steps]``.
     """
-    topo = two_path_topology(
-        switch_count,
-        rng=random.Random(seed),
-        capacity=capacity_mbps,
-        max_delay=max_delay_steps,
+    return run_in_memory(
+        "fig6",
+        overrides={
+            "seed": seed,
+            "switch_count": switch_count,
+            "capacity_mbps": capacity_mbps,
+            "duration": duration,
+            "update_at": update_at,
+            "delay_scale": delay_scale,
+            "max_delay_steps": max_delay_steps,
+        },
+        ctx=RunContext(),
     )
-    instance = instance_from_topology(topo, demand=capacity_mbps)
-
-    series: Dict[str, List[Tuple[float, float]]] = {}
-    peaks: Dict[str, float] = {}
-    for scheme in SCHEMES:
-        monitor, plane = _run_scheme(
-            scheme, instance, seed, duration, update_at, delay_scale
-        )
-        hottest = monitor.peak_series()
-        series[scheme] = [(s.time, s.mbps) for s in hottest]
-        peaks[scheme] = max(
-            plane.links[link].peak_utilization() for link in plane.links
-        )
-    return Fig6Result(series=series, peaks=peaks, capacity=capacity_mbps)
 
 
 def _run_scheme(
@@ -110,21 +184,40 @@ def _run_scheme(
     duration: float,
     update_at: float,
     delay_scale: float,
+    fault_severity: Optional[float] = None,
 ):
     rng = random.Random(seed * 1009 + SCHEMES.index(scheme) * 997)
     sim = Simulator()
     plane = build_dataplane(sim, instance.network, delay_scale=delay_scale)
     install_config(plane, instance)
-    channel = ControlChannel(
-        sim,
-        network_delay=ConstantDelayModel(0.002),
-        install_delay=DionysusDelayModel(median=0.3, sigma=1.0, cap=2.0),
-        rng=rng,
-    )
+    fault_plan = None
+    if fault_severity:
+        from repro.faults import FaultPlan, FaultyChannel, severity_spec
+
+        fault_plan = FaultPlan(
+            severity_spec(fault_severity, crash_window=(update_at, duration)),
+            seed=seed ^ 0xFA17,
+        )
+        channel = FaultyChannel(
+            sim,
+            fault_plan,
+            network_delay=ConstantDelayModel(0.002),
+            install_delay=DionysusDelayModel(median=0.3, sigma=1.0, cap=2.0),
+            rng=rng,
+        )
+    else:
+        channel = ControlChannel(
+            sim,
+            network_delay=ConstantDelayModel(0.002),
+            install_delay=DionysusDelayModel(median=0.3, sigma=1.0, cap=2.0),
+            rng=rng,
+        )
     clocks = synchronized_clocks(instance.network.switches, max_offset=1e-6, rng=rng)
     controller = Controller(sim, channel, clocks)
     for switch in plane.switches.values():
         controller.manage(switch)
+    if fault_plan is not None:
+        fault_plan.wire(controller)
     plane.inject_flow(
         instance.source, "h1", str(instance.destination), rate=instance.demand
     )

@@ -3,15 +3,27 @@
 Paper: same workload as Fig. 7; Chronus decreases the number of congested
 time-extended links by ~70% relative to OR, increasingly so at larger
 sizes.
+
+Pipeline scenario ``fig8``: the same shared sweep grid as ``fig7`` (with
+its own base seed and scheme pair); the figure sums congested
+time-extended links per size from the stored records.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 from repro.analysis.timeseries import render_table
-from repro.experiments.sweep import SweepRecord, run_sweep, total_congested_links
+from repro.experiments.sweep import total_congested_links
+from repro.pipeline.context import RunContext
+from repro.pipeline.runner import run_in_memory
+from repro.pipeline.scenario import Scenario, register
+from repro.pipeline.stages import (
+    sweep_evaluate,
+    sweep_items,
+    sweep_records_from_dicts,
+)
 
 SCHEMES = ("chronus", "or")
 
@@ -35,31 +47,65 @@ class Fig8Result:
         )
 
 
+def _aggregate(records: Sequence[Mapping], params: Mapping) -> Fig8Result:
+    swept = sweep_records_from_dicts(records)
+    counts = [int(count) for count in params["switch_counts"]]
+    congested = {
+        scheme: [total_congested_links(swept, scheme, count) for count in counts]
+        for scheme in params["schemes"]
+    }
+    return Fig8Result(switch_counts=counts, congested=congested)
+
+
+SCENARIO = register(
+    Scenario(
+        name="fig8",
+        title="Congested links of the time-extended network vs. network size",
+        paper="Fig. 8",
+        description=(
+            "Shared mixed-reroute sweep over chronus/or; the figure sums "
+            "each size's congested time-extended links from the records."
+        ),
+        defaults={
+            "switch_counts": (10, 20, 30, 40, 50, 60),
+            "instances_per_size": 20,
+            "base_seed": 2,
+            "schemes": SCHEMES,
+            "opt_budget": 1.0,
+            "or_budget": 0.5,
+            "opt_node_budget": None,
+            "or_node_budget": None,
+            "workload": "mixed",
+            "verify": False,
+        },
+        items=sweep_items,
+        evaluate=sweep_evaluate,
+        aggregate=_aggregate,
+        paper_params={"instances_per_size": 500},
+    )
+)
+
+
 def run_fig8(
     switch_counts: Sequence[int] = (10, 20, 30, 40, 50, 60),
     instances_per_size: int = 20,
     base_seed: int = 2,
     max_workers: int = 1,
 ) -> Fig8Result:
-    """Run the sweep and sum congested time-extended links per scheme.
+    """Run the ``fig8`` scenario in memory and sum congested links.
 
     ``max_workers > 1`` fans the sweep over a process pool; the records
     (and hence the figure) are identical to a serial run.
     """
-    records = run_sweep(
-        switch_counts,
-        instances_per_size=instances_per_size,
-        base_seed=base_seed,
-        schemes=SCHEMES,
-        max_workers=max_workers,
+    return run_in_memory(
+        "fig8",
+        overrides={
+            "switch_counts": tuple(switch_counts),
+            "instances_per_size": instances_per_size,
+            "base_seed": base_seed,
+        },
+        ctx=RunContext(workers=max_workers),
     )
-    congested = {
-        scheme: [
-            total_congested_links(records, scheme, count) for count in switch_counts
-        ]
-        for scheme in SCHEMES
-    }
-    return Fig8Result(switch_counts=list(switch_counts), congested=congested)
 
 
 def main() -> str:

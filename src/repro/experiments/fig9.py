@@ -6,17 +6,21 @@ network size (TP is not even plotted beyond 400 switches because it leaves
 the axis).  What is counted are the rule operations each protocol issues:
 TP installs a full versioned rule set and later deletes the old one, while
 Chronus sends one in-place modification per rerouted switch.
+
+Pipeline scenario ``fig9``: one record per (size, instance) carrying both
+protocols' operation counts; the box statistics are pure aggregation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 from repro.analysis.stats import BoxStats, box_stats, mean
 from repro.analysis.timeseries import render_table
-from repro.core.instance import random_instance
-from repro.updates import ChronusProtocol, TwoPhaseProtocol
+from repro.pipeline.context import RunContext, WorkerContext
+from repro.pipeline.runner import run_in_memory
+from repro.pipeline.scenario import Scenario, register
 
 
 @dataclass
@@ -41,6 +45,83 @@ class Fig9Result:
         )
 
 
+def _rule_operations_chronus(instance) -> int:
+    """Chronus' rule footprint without running the scheduler.
+
+    The operation count depends only on the instance (one operation per
+    switch needing an update), so Fig. 9 avoids the scheduling cost.
+    """
+    return len(instance.switches_to_update)
+
+
+def _items(params: Mapping) -> List[Dict[str, object]]:
+    base_seed = int(params["base_seed"])
+    return [
+        {
+            "key": f"n{count}-i{index}",
+            "switch_count": int(count),
+            "index": index,
+            "seed": base_seed * 7_000_003 + int(count) * 101 + index,
+        }
+        for count in params["switch_counts"]
+        for index in range(int(params["instances_per_size"]))
+    ]
+
+
+def _evaluate(item: Mapping, params: Mapping, ctx: WorkerContext) -> Dict[str, object]:
+    from repro.core.instance import random_instance
+    from repro.updates import TwoPhaseProtocol
+
+    instance = random_instance(
+        int(item["switch_count"]),
+        seed=int(item["seed"]),
+        detour_fraction=float(params["detour_fraction"]),
+    )
+    return {
+        "key": item["key"],
+        "switch_count": item["switch_count"],
+        "seed": item["seed"],
+        "chronus_ops": _rule_operations_chronus(instance),
+        "tp_ops": TwoPhaseProtocol().plan(instance).rules.operations,
+    }
+
+
+def _aggregate(records: Sequence[Mapping], params: Mapping) -> Fig9Result:
+    counts = [int(count) for count in params["switch_counts"]]
+    chronus_boxes: Dict[int, BoxStats] = {}
+    tp_means: Dict[int, float] = {}
+    for count in counts:
+        relevant = [r for r in records if int(r["switch_count"]) == count]
+        chronus_boxes[count] = box_stats([float(r["chronus_ops"]) for r in relevant])
+        tp_means[count] = mean([float(r["tp_ops"]) for r in relevant])
+    return Fig9Result(
+        switch_counts=counts, chronus_boxes=chronus_boxes, tp_means=tp_means
+    )
+
+
+SCENARIO = register(
+    Scenario(
+        name="fig9",
+        title="Forwarding-rule operations, Chronus vs. two-phase",
+        paper="Fig. 9",
+        description=(
+            "One record per (size, instance) with both protocols' rule "
+            "operation counts; aggregation builds the box statistics."
+        ),
+        defaults={
+            "switch_counts": (100, 200, 300, 400, 500, 600),
+            "instances_per_size": 20,
+            "base_seed": 3,
+            "detour_fraction": 0.6,
+        },
+        items=_items,
+        evaluate=_evaluate,
+        aggregate=_aggregate,
+        paper_params={"instances_per_size": 500},
+    )
+)
+
+
 def run_fig9(
     switch_counts: Sequence[int] = (100, 200, 300, 400, 500, 600),
     instances_per_size: int = 20,
@@ -53,36 +134,16 @@ def run_fig9(
     path traverses; 0.6 reproduces the paper's ratio (~190 Chronus vs ~596
     TP rule operations at 300 switches).
     """
-    chronus = ChronusProtocol()
-    tp = TwoPhaseProtocol()
-    chronus_boxes: Dict[int, BoxStats] = {}
-    tp_means: Dict[int, float] = {}
-    for count in switch_counts:
-        chronus_ops: List[float] = []
-        tp_ops: List[float] = []
-        for index in range(instances_per_size):
-            seed = base_seed * 7_000_003 + count * 101 + index
-            instance = random_instance(
-                count, seed=seed, detour_fraction=detour_fraction
-            )
-            chronus_ops.append(_rule_operations_chronus(instance))
-            tp_ops.append(tp.plan(instance).rules.operations)
-        chronus_boxes[count] = box_stats(chronus_ops)
-        tp_means[count] = mean(tp_ops)
-    return Fig9Result(
-        switch_counts=list(switch_counts),
-        chronus_boxes=chronus_boxes,
-        tp_means=tp_means,
+    return run_in_memory(
+        "fig9",
+        overrides={
+            "switch_counts": tuple(switch_counts),
+            "instances_per_size": instances_per_size,
+            "base_seed": base_seed,
+            "detour_fraction": detour_fraction,
+        },
+        ctx=RunContext(),
     )
-
-
-def _rule_operations_chronus(instance) -> int:
-    """Chronus' rule footprint without running the scheduler.
-
-    The operation count depends only on the instance (one operation per
-    switch needing an update), so Fig. 9 avoids the scheduling cost.
-    """
-    return len(instance.switches_to_update)
 
 
 def main() -> str:

@@ -9,6 +9,11 @@ Run:  python -m repro.experiments.paper_scale [fig7|fig8|fig9|fig10|fig10-greedy
 
 ``fig10-greedy`` is the affordable slice of the Fig. 10 preset: only the
 Chronus scheduler, at the full 1K-6K sizes, minutes instead of hours.
+
+These presets are the ``paper_params`` of each registered scenario, so
+``python -m repro.experiments run --paper <name>`` runs the same grids
+while also streaming records into the artifact store (resumable -- which
+matters at these magnitudes).  This module remains the no-store wrapper.
 """
 
 from __future__ import annotations

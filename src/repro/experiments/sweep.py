@@ -350,3 +350,84 @@ def total_congested_links(
         for r in records
         if r.switch_count == switch_count and scheme in r.outcomes
     )
+
+
+# --- pipeline scenario -------------------------------------------------
+
+@dataclass
+class GenericSweepResult:
+    """Raw sweep records plus the two standard aggregate views."""
+
+    records: List[SweepRecord]
+    switch_counts: Sequence[int]
+    schemes: Sequence[str]
+
+    def render(self) -> str:
+        from repro.analysis.timeseries import render_table
+
+        rows = []
+        for count in self.switch_counts:
+            row: List[object] = [count]
+            for scheme in self.schemes:
+                row.append(
+                    f"{congestion_free_percentage(self.records, scheme, count):.1f}%"
+                    f" / {total_congested_links(self.records, scheme, count)}"
+                )
+            rows.append(row)
+        return render_table(
+            ["switches"] + [f"{s} (free% / cong.links)" for s in self.schemes],
+            rows,
+            title="Instance sweep -- congestion freedom and congested links",
+        )
+
+
+def _scenario_aggregate(records, params) -> GenericSweepResult:
+    from repro.pipeline.stages import sweep_records_from_dicts
+
+    return GenericSweepResult(
+        records=sweep_records_from_dicts(records),
+        switch_counts=tuple(int(c) for c in params["switch_counts"]),
+        schemes=tuple(params["schemes"]),
+    )
+
+
+def _register_scenario():
+    from repro.pipeline.scenario import Scenario, register
+    from repro.pipeline.stages import sweep_evaluate, sweep_items
+
+    return register(
+        Scenario(
+            name="sweep",
+            title="The shared instance sweep, with every knob exposed",
+            paper="Section V-B methodology",
+            description=(
+                "The raw grid behind Figs. 7/8/11: seeded instances per "
+                "network size, every scheme evaluated per instance.  Use "
+                "--set to steer workload, budgets and schemes directly."
+            ),
+            defaults={
+                "switch_counts": (10, 20, 30),
+                "instances_per_size": 10,
+                "base_seed": 0,
+                "schemes": ("chronus", "or", "opt"),
+                "opt_budget": 1.0,
+                "or_budget": 0.5,
+                "workload": "mixed",
+                "max_delay": None,
+                "detour_fraction": 1.0,
+                "opt_node_budget": None,
+                "or_node_budget": None,
+                "verify": False,
+            },
+            items=sweep_items,
+            evaluate=sweep_evaluate,
+            aggregate=_scenario_aggregate,
+            paper_params={
+                "switch_counts": (10, 20, 30, 40, 50, 60),
+                "instances_per_size": 500,
+            },
+        )
+    )
+
+
+SCENARIO = _register_scenario()

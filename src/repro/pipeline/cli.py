@@ -1,0 +1,88 @@
+"""Shared command-line plumbing for ``scripts/*.py`` and the experiments CLI.
+
+Every script used to re-implement the same four fragments: an
+``ArgumentParser`` seeded from the module docstring's first line, a
+``--quick``/``--quiet`` flag pair, a carriage-return progress line and
+JSON emission.  They live here once; the scripts are thin wrappers kept
+for backward compatibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, IO, Optional
+
+
+def first_doc_line(doc: Optional[str]) -> str:
+    """The summary line of a module docstring (empty-safe)."""
+    if not doc:
+        return ""
+    for line in doc.splitlines():
+        if line.strip():
+            return line.strip()
+    return ""
+
+
+def script_parser(doc: Optional[str], **kwargs) -> argparse.ArgumentParser:
+    """An ``ArgumentParser`` described by the script's docstring summary."""
+    kwargs.setdefault("description", first_doc_line(doc))
+    return argparse.ArgumentParser(**kwargs)
+
+
+def add_quick_flag(parser: argparse.ArgumentParser, help: str) -> None:
+    parser.add_argument("--quick", action="store_true", help=help)
+
+
+def add_quiet_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the progress line"
+    )
+
+
+def progress_printer(
+    noun: str, quiet: bool = False, stream: Optional[IO[str]] = None
+) -> Callable[[int, int], None]:
+    """A ``(done, total)`` callback rendering the scripts' one-line ticker.
+
+    Call :func:`finish_progress` (or print a newline) once the loop ends.
+    """
+    out = stream if stream is not None else sys.stdout
+
+    def progress(done: int, total: int) -> None:
+        if not quiet:
+            print(f"\r  {noun} {done}/{total}", end="", flush=True, file=out)
+
+    return progress
+
+
+def finish_progress(quiet: bool = False, stream: Optional[IO[str]] = None) -> None:
+    """Terminate the ticker line started by :func:`progress_printer`."""
+    if not quiet:
+        print(file=stream if stream is not None else sys.stdout)
+
+
+def emit_json(data: object, stream: Optional[IO[str]] = None) -> None:
+    """Machine-readable output, consistently formatted across scripts."""
+    print(
+        json.dumps(data, indent=2, sort_keys=True),
+        file=stream if stream is not None else sys.stdout,
+    )
+
+
+def parse_override(text: str) -> tuple:
+    """One ``--set key=value`` assignment; values parse as JSON, else string.
+
+    ``--set switch_counts=[10,20]`` becomes a list, ``--set workload=mixed``
+    stays a string.
+    """
+    key, sep, value = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {text!r}"
+        )
+    try:
+        return key, json.loads(value)
+    except json.JSONDecodeError:
+        return key, value

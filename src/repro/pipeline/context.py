@@ -1,0 +1,89 @@
+"""RunContext: the cross-cutting services threaded through every scenario.
+
+Before the pipeline each experiment module re-plumbed the same four
+services by hand: ``sweep_seed`` deterministic seeding, the
+:class:`~repro.runtime.ParallelRunner`, the conformance verifier flag and
+the :mod:`repro.perf` spans.  :class:`RunContext` carries them once, and
+the executor hands each pool worker the picklable slice it needs
+(:class:`WorkerContext`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.runtime import ParallelRunner
+
+
+@dataclass(frozen=True)
+class WorkerContext:
+    """The per-worker, picklable slice of a :class:`RunContext`.
+
+    Attributes:
+        verify: Re-check every evaluated schedule with the independent
+            verifier (:mod:`repro.validate`); scenarios built on the
+            shared sweep stage fill ``verifier_agrees`` on each outcome.
+        fault_severity: Optional control-plane fault severity (the
+            :func:`repro.faults.severity_spec` scalar) for scenarios that
+            execute on the discrete-event plane; analytic scenarios
+            ignore it.
+    """
+
+    verify: bool = False
+    fault_severity: Optional[float] = None
+
+
+@dataclass
+class RunContext:
+    """Everything a scenario run needs besides its parameters.
+
+    Attributes:
+        workers: Worker processes for the item map (1 = in-process); the
+            records are identical for any worker count because every item
+            is seeded independently (the ``sweep_seed`` contract).
+        verify: See :class:`WorkerContext`.
+        profile: Enable the :mod:`repro.perf` registry around the run; the
+            executor wraps the scenario in a ``pipeline.<name>`` span.
+        fault_severity: See :class:`WorkerContext`.
+        runner: Pre-configured :class:`ParallelRunner`; built from
+            ``workers`` when omitted.
+        progress: Called with ``(done, total)`` after every record.
+    """
+
+    workers: int = 1
+    verify: bool = False
+    profile: bool = False
+    fault_severity: Optional[float] = None
+    runner: Optional[ParallelRunner] = None
+    progress: Optional[Callable[[int, int], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.runner is None:
+            self.runner = ParallelRunner(max_workers=self.workers, chunk_size=1)
+
+    @property
+    def batch_size(self) -> int:
+        """Items evaluated between checkpoints.
+
+        Serial runs checkpoint after every record; parallel runs batch
+        ``2 x workers`` items so the pool stays busy while keeping the
+        resume granularity fine.  Records are always written in item
+        order, so completed keys form a prefix of the item list whatever
+        the batch size.
+        """
+        if self.workers <= 1:
+            return 1
+        return self.workers * 2
+
+    def worker_context(self) -> WorkerContext:
+        return WorkerContext(
+            verify=self.verify, fault_severity=self.fault_severity
+        )
+
+    @staticmethod
+    def seed_for(base_seed: int, switch_count: int, index: int) -> int:
+        """The harness seeding contract (see :func:`repro.experiments.sweep.sweep_seed`)."""
+        from repro.experiments.sweep import sweep_seed
+
+        return sweep_seed(base_seed, switch_count, index)

@@ -1,0 +1,246 @@
+"""The scenario executor: ordered, checkpointed evaluation of items.
+
+One code path serves every consumer:
+
+* the legacy ``run_*`` wrappers call :func:`run_in_memory` (records stay
+  in a list, the aggregate comes back directly);
+* ``python -m repro.experiments run|resume`` calls :func:`run_to_store`
+  (records stream to the artifact store, checkpointed per record);
+* ``report`` calls :func:`report_from_store` (aggregation only -- the
+  compute/print decoupling the figures lacked).
+
+Records are produced strictly in item order whatever the worker count:
+items are mapped in contiguous batches through the
+:class:`~repro.runtime.ParallelRunner` (which preserves submission
+order) and appended as each batch completes.  Completed keys therefore
+always form a prefix of the item list, which is what makes interrupted
+runs resumable byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.perf import perf
+from repro.pipeline.context import RunContext, WorkerContext
+from repro.pipeline.scenario import Scenario, get_scenario
+from repro.pipeline.store import ArtifactStore, RunHandle, canonical_json
+
+import json
+
+
+class RunInterrupted(RuntimeError):
+    """Raised when ``stop_after`` cut a run short (simulating a kill).
+
+    The run's manifest is left in status ``running`` and the records
+    file holds exactly the completed prefix -- the state a genuine
+    mid-run kill leaves behind -- so ``resume`` picks up from here.
+    """
+
+    def __init__(self, message: str, handle: Optional[RunHandle] = None):
+        super().__init__(message)
+        self.handle = handle
+
+
+@dataclass(frozen=True)
+class _ItemTask:
+    """Self-contained work unit shipped to a pool worker."""
+
+    scenario: str
+    params: Mapping[str, object]
+    item: Mapping[str, object]
+    worker_context: WorkerContext
+
+
+def evaluate_task(task: _ItemTask) -> Dict[str, object]:
+    """Worker entry point: look the scenario up and evaluate one item."""
+    scenario = get_scenario(task.scenario)
+    record = dict(scenario.evaluate(task.item, task.params, task.worker_context))
+    record.setdefault("key", task.item["key"])
+    return record
+
+
+@dataclass
+class ExecutionSummary:
+    """What one :func:`execute` call did."""
+
+    total_items: int = 0
+    skipped: int = 0
+    emitted: int = 0
+    satisfied_early: bool = False  # the scenario's enough() stopped the run
+
+
+def execute(
+    scenario: Scenario,
+    params: Mapping[str, object],
+    ctx: RunContext,
+    sink: Callable[[Dict[str, object]], None],
+    prior_records: Sequence[Mapping[str, object]] = (),
+    stop_after: Optional[int] = None,
+) -> ExecutionSummary:
+    """Evaluate a scenario's items in order, feeding each record to ``sink``.
+
+    ``prior_records`` (a resumed run's completed prefix) are skipped by
+    key and counted toward the scenario's ``enough`` predicate.  Every
+    record is normalised through canonical JSON before ``sink`` sees it,
+    so in-memory aggregation operates on exactly what a stored run would
+    read back.  ``stop_after`` raises :class:`RunInterrupted` once that
+    many *new* records have been sunk.
+    """
+    items = list(scenario.items(params))
+    keys = [str(item["key"]) for item in items]
+    if len(set(keys)) != len(keys):
+        dupes = sorted({k for k in keys if keys.count(k) > 1})
+        raise ValueError(
+            f"scenario {scenario.name!r} produced duplicate item keys: {dupes}"
+        )
+    done = {str(record["key"]) for record in prior_records}
+    unknown = done - set(keys)
+    if unknown:
+        raise ValueError(
+            f"stored records of {scenario.name!r} carry keys absent from the "
+            f"item grid (params changed?): {sorted(unknown)[:5]}"
+        )
+    pending = [item for item in items if str(item["key"]) not in done]
+    summary = ExecutionSummary(
+        total_items=len(items), skipped=len(items) - len(pending)
+    )
+    records: List[Mapping[str, object]] = list(prior_records)
+    if scenario.enough is not None and scenario.enough(records, params):
+        summary.satisfied_early = True
+        return summary
+
+    if ctx.profile:
+        perf.enable()
+    wctx = ctx.worker_context()
+    batch_size = ctx.batch_size
+    with perf.span(f"pipeline.{scenario.name}"):
+        for start in range(0, len(pending), batch_size):
+            batch = pending[start : start + batch_size]
+            tasks = [
+                _ItemTask(
+                    scenario=scenario.name,
+                    params=params,
+                    item=item,
+                    worker_context=wctx,
+                )
+                for item in batch
+            ]
+            for record in ctx.runner.map(evaluate_task, tasks):
+                record = json.loads(canonical_json(record))
+                sink(record)
+                records.append(record)
+                summary.emitted += 1
+                if ctx.progress is not None:
+                    ctx.progress(summary.skipped + summary.emitted, len(items))
+                if stop_after is not None and summary.emitted >= stop_after:
+                    raise RunInterrupted(
+                        f"stopped {scenario.name} after {summary.emitted} new "
+                        f"record(s) as requested"
+                    )
+                if scenario.enough is not None and scenario.enough(records, params):
+                    summary.satisfied_early = True
+                    return summary
+    return summary
+
+
+@dataclass
+class StoredRun:
+    """Result of :func:`run_to_store`: the handle plus what happened."""
+
+    scenario: Scenario
+    params: Dict[str, object]
+    handle: RunHandle
+    summary: ExecutionSummary
+    records: List[Dict[str, object]] = field(default_factory=list)
+
+    def aggregate(self):
+        return self.scenario.aggregate(self.records, self.params)
+
+
+def run_in_memory(
+    name: str,
+    overrides: Optional[Mapping[str, object]] = None,
+    ctx: Optional[RunContext] = None,
+    paper: bool = False,
+):
+    """Run a scenario without the store and return its aggregate result."""
+    scenario = get_scenario(name)
+    params = scenario.params_with(overrides, paper=paper)
+    # Normalise exactly as the store would, so wrappers and stored runs
+    # aggregate from identical data.
+    params = json.loads(canonical_json(params))
+    records: List[Dict[str, object]] = []
+    execute(scenario, params, ctx or RunContext(), records.append)
+    return scenario.aggregate(records, params)
+
+
+def run_to_store(
+    name: str,
+    overrides: Optional[Mapping[str, object]] = None,
+    ctx: Optional[RunContext] = None,
+    store: Optional[ArtifactStore] = None,
+    run_id: Optional[str] = None,
+    resume: bool = False,
+    paper: bool = False,
+    stop_after: Optional[int] = None,
+) -> StoredRun:
+    """Run (or resume) a scenario against the artifact store.
+
+    A fresh run materialises the parameters, creates
+    ``<root>/<name>/<run-id>/`` and streams records; a resumed run reads
+    the parameters back from the manifest, skips the completed prefix
+    and appends only the missing records -- the final ``records.jsonl``
+    is byte-identical to an uninterrupted run.
+    """
+    scenario = get_scenario(name)
+    store = store or ArtifactStore()
+    ctx = ctx or RunContext()
+    if resume:
+        handle = store.open(name, run_id)
+        params = handle.params
+        prior = handle.load_records()
+        handle.manifest["status"] = "running"
+        handle.write_manifest()
+    else:
+        params = scenario.params_with(overrides, paper=paper)
+        handle = store.create(name, params, run_id=run_id)
+        params = handle.params  # JSON-normalised, as a resume would see it
+        prior = []
+
+    records: List[Dict[str, object]] = list(prior)
+
+    def sink(record: Dict[str, object]) -> None:
+        handle.append(record)
+        records.append(record)
+
+    try:
+        summary = execute(
+            scenario, params, ctx, sink, prior_records=prior, stop_after=stop_after
+        )
+    except RunInterrupted as interrupted:
+        # Leave the manifest in `running` -- exactly what a kill leaves.
+        handle._close_records()
+        interrupted.handle = handle
+        raise
+    handle.finish(status="complete", records=len(records))
+    return StoredRun(
+        scenario=scenario,
+        params=dict(params),
+        handle=handle,
+        summary=summary,
+        records=records,
+    )
+
+
+def report_from_store(
+    name: str,
+    store: Optional[ArtifactStore] = None,
+    run_id: Optional[str] = None,
+):
+    """Aggregate a stored run's records: pure reporting, no computation."""
+    scenario = get_scenario(name)
+    store = store or ArtifactStore()
+    handle = store.open(name, run_id)
+    return scenario.aggregate(handle.load_records(), handle.params)

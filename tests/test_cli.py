@@ -1,4 +1,4 @@
-"""The ``python -m repro.experiments`` entry point."""
+"""The ``python -m repro.experiments`` entry point (subprocess level)."""
 
 import subprocess
 import sys
@@ -20,8 +20,19 @@ def test_walkthrough_via_cli():
     assert "verdict: consistent" in completed.stdout
 
 
-def test_filter_selects_single_experiment():
-    completed = run_cli("table")
+def test_exact_name_selects_single_experiment():
+    completed = run_cli("table2")
     assert completed.returncode == 0, completed.stderr
     assert "Table II" in completed.stdout
     assert "Fig. 7" not in completed.stdout
+
+
+def test_inexact_name_is_an_error_listing_scenarios():
+    # "fig1" used to substring-match Figs. 10 and 11 and silently run
+    # both; it must now fail fast and name every valid scenario.
+    completed = run_cli("fig1")
+    assert completed.returncode == 2, completed.stdout
+    assert "unknown scenario 'fig1'" in completed.stderr
+    assert "fig10" in completed.stderr
+    assert "fig11" in completed.stderr
+    assert "Fig. 10" not in completed.stdout
