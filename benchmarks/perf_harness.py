@@ -8,8 +8,14 @@ sizes for CI-style smoke runs.
 
 What it measures:
 
-* **greedy** -- the Chronus scheduler at 400/1K/4K switches (best of
-  ``repeats`` runs; the box this repo grew on has noisy wall clocks).
+* **greedy** -- the Chronus scheduler from 400 up to 100K switches (best
+  of ``repeats`` runs at the small sizes, single runs at 20K+; the box
+  this repo grew on has noisy wall clocks).  The 20K/50K/100K sizes are
+  the struct-of-arrays tracker's territory -- the dict tracker needs
+  minutes there.
+* **memory** -- peak RSS per greedy stage (instance build + schedule),
+  measured in a forked child per size so one stage's high-water mark
+  cannot mask another's.
 * **opt** -- the budgeted branch-and-bound at 30 switches over a fixed
   seed batch: wall time, nodes explored, node throughput.
 * **clone** -- ``IntervalTracker.clone()`` micro-cost on a 1K-switch
@@ -43,6 +49,7 @@ from repro.core.instance import segmented_instance
 from repro.core.intervals import IntervalTracker, replay_schedule
 from repro.core.optimal import optimal_schedule
 from repro.experiments.sweep import mixed_instance, run_sweep
+from repro.perf import measure_peak_rss
 from repro.runtime import ParallelRunner, available_cpus
 
 BENCH_FILE = _REPO_ROOT / "BENCH_sweep.json"
@@ -60,21 +67,55 @@ def _best_of(repeats, fn, *args, label=None, **kwargs):
 
 
 def bench_greedy(
-    sizes: Sequence[int] = (400, 1000, 4000, 6000), repeats: int = 3
+    sizes: Sequence[int] = (400, 1000, 4000, 6000, 20000, 50000, 100000),
+    repeats: int = 3,
 ) -> Dict[str, float]:
     """Greedy scheduler wall clock per network size (seconds, best-of).
 
-    6000 switches is the paper's largest Fig. 10 size; the incremental
-    engine must clear it in seconds, not minutes.
+    6000 switches is the paper's largest Fig. 10 size; 20K-100K probe the
+    struct-of-arrays tracker's datacenter-scale headroom and run once
+    each (at that scale a run is seconds long and best-of-N only adds
+    minutes of wall clock for noise the gate's 1.3x margin absorbs).
     """
     out: Dict[str, float] = {}
     for size in sizes:
         instance = segmented_instance(size, seed=size)
         result, best = _best_of(
-            repeats, greedy_schedule, instance, label=f"greedy[{size}] run"
+            repeats if size < 20000 else 1,
+            greedy_schedule,
+            instance,
+            label=f"greedy[{size}] run",
         )
         out[str(size)] = round(best, 4)
         print(f"[bench] greedy n={size}: best {best:.3f}s (feasible={result.feasible})")
+    return out
+
+
+def _greedy_stage(size: int) -> None:
+    """One self-contained greedy bench stage (runs in the measurement fork)."""
+    greedy_schedule(segmented_instance(size, seed=size))
+
+
+def bench_greedy_memory(
+    sizes: Sequence[int] = (4000, 20000, 50000, 100000),
+) -> Dict[str, Dict[str, float]]:
+    """Peak RSS of each greedy stage in MiB (the record's memory column).
+
+    Each stage builds its own instance and schedules it inside a forked
+    child: ``ru_maxrss`` is a per-process high-water mark, so sharing one
+    process would let the largest stage mask all others.  ``delta_mb`` is
+    the stage's growth over the inherited process image and is the
+    comparable number across machines; reproduce locally with
+    ``scripts/profile.py --memory``.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for size in sizes:
+        stats = measure_peak_rss(_greedy_stage, size)
+        out[str(size)] = stats
+        print(
+            f"[bench] memory greedy n={size}: peak={stats['peak_rss_mb']}MB "
+            f"delta={stats['delta_mb']}MB"
+        )
     return out
 
 
@@ -215,6 +256,7 @@ def collect(quick: bool = False, workers: int = 4) -> Dict[str, object]:
                 node_budget=500,
                 or_node_budget=300,
             ),
+            "memory": {"greedy": bench_greedy_memory(sizes=(400,))},
         }
     else:
         record = {
@@ -224,6 +266,7 @@ def collect(quick: bool = False, workers: int = 4) -> Dict[str, object]:
             "opt": bench_opt(),
             "clone": bench_clone(),
             "sweep": bench_sweep(workers=workers),
+            "memory": {"greedy": bench_greedy_memory()},
         }
     return record
 

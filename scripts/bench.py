@@ -19,9 +19,15 @@ Exit status is non-zero when a measured invariant fails:
 * the plan-conformance verifier disagrees with any planner on the
   seeded sweep (recorded as ``verifier_agrees``; skip with
   ``--no-verify``), or
-* greedy[4000] regresses past 1.3x the best prior full-size record from
-  the same machine class (same ``cpus`` count; runs on other machine
-  classes are not comparable and skip the gate).
+* greedy regresses past 1.3x the best prior full-size record from the
+  same machine class at *any* measured size -- 400 up to 100000
+  switches (same ``cpus`` count; runs on other machine classes are not
+  comparable and skip the gate; sizes without a comparable prior are
+  skipped individually).
+
+Full records also carry a ``memory`` column: peak RSS per greedy bench
+stage, measured in a forked child per size (see
+``benchmarks.perf_harness.bench_greedy_memory``).
 """
 
 from __future__ import annotations
@@ -41,46 +47,53 @@ from repro.pipeline.cli import add_quick_flag, script_parser  # noqa: E402
 from repro.validate.gate import run_gate  # noqa: E402
 
 SLOWDOWN_LIMIT = 1.2
-GREEDY_GATE_SIZE = "4000"
 GREEDY_GATE_LIMIT = 1.3
 
 
 def greedy_regression(record, history):
-    """Failure message when greedy[4000] regressed vs. prior records, else None.
+    """Failure message when any greedy size regressed vs. priors, else None.
 
-    Only prior full-size records from the same machine class (equal
-    ``cpus``) are comparable; quick records measure different sizes and
-    other machine classes have different clocks, so both are skipped.
-    Profiled records are skipped on both sides -- the enabled perf
-    counters inflate the tracker hot path, so their timings are not
+    Every size in the current record is gated against the best prior
+    measurement of that same size; sizes no prior record measured are
+    skipped individually (so adding a new bench size never fails its
+    first run).  Only prior full-size records from the same machine class
+    (equal ``cpus``) are comparable; quick records measure different
+    sizes and other machine classes have different clocks, so both are
+    skipped.  Profiled records are skipped on both sides -- the enabled
+    perf counters inflate the tracker hot path, so their timings are not
     comparable to plain runs.
     """
     if "profile" in record:
         return None
     greedy = record.get("greedy") or {}
-    current = greedy.get(GREEDY_GATE_SIZE)
-    if current is None:
-        return None
-    prior = [
-        entry["greedy"][GREEDY_GATE_SIZE]
+    comparable = [
+        entry["greedy"]
         for entry in history
         if isinstance(entry, dict)
         and not entry.get("quick")
         and "profile" not in entry
         and entry.get("cpus") == record.get("cpus")
         and isinstance(entry.get("greedy"), dict)
-        and isinstance(entry["greedy"].get(GREEDY_GATE_SIZE), (int, float))
     ]
-    if not prior:
-        return None
-    best = min(prior)
-    if best > 0 and current > GREEDY_GATE_LIMIT * best:
-        return (
-            f"greedy[{GREEDY_GATE_SIZE}] took {current:.3f}s, over "
-            f"{GREEDY_GATE_LIMIT}x the best prior record {best:.3f}s "
-            f"(machine class cpus={record.get('cpus')})"
-        )
-    return None
+    failures = []
+    for size, current in sorted(greedy.items(), key=lambda item: int(item[0])):
+        if not isinstance(current, (int, float)):
+            continue
+        prior = [
+            entry[size]
+            for entry in comparable
+            if isinstance(entry.get(size), (int, float))
+        ]
+        if not prior:
+            continue
+        best = min(prior)
+        if best > 0 and current > GREEDY_GATE_LIMIT * best:
+            failures.append(
+                f"greedy[{size}] took {current:.3f}s, over "
+                f"{GREEDY_GATE_LIMIT}x the best prior record {best:.3f}s "
+                f"(machine class cpus={record.get('cpus')})"
+            )
+    return "; ".join(failures) if failures else None
 
 
 def main(argv=None) -> int:

@@ -12,6 +12,11 @@ Usage::
     python scripts/profile.py --size 4000      # the bench-gate size
     python scripts/profile.py --engine fresh   # profile the reference engine
     python scripts/profile.py --json           # machine-readable snapshot
+    python scripts/profile.py --memory         # peak RSS of the stage too
+
+``--memory`` reproduces BENCH_sweep.json's memory column locally: the
+stage (instance build + schedule) re-runs in a forked child and its peak
+RSS is reported next to the wall-clock breakdown.
 """
 
 from __future__ import annotations
@@ -27,8 +32,13 @@ if SRC not in sys.path:
 
 from repro.core.greedy import greedy_schedule  # noqa: E402
 from repro.core.instance import segmented_instance  # noqa: E402
-from repro.perf import perf  # noqa: E402
+from repro.perf import measure_peak_rss, perf  # noqa: E402
 from repro.pipeline.cli import emit_json, script_parser  # noqa: E402
+
+
+def _stage(size: int, seed: int, engine: str) -> None:
+    """The profiled stage, self-contained for the memory-measurement fork."""
+    greedy_schedule(segmented_instance(size, seed=seed), engine=engine)
 
 
 def main(argv=None) -> int:
@@ -45,11 +55,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--engine",
         default="incremental",
-        choices=("incremental", "fresh"),
+        choices=("incremental", "incremental-dict", "fresh"),
         help="greedy engine to profile",
     )
     parser.add_argument(
         "--json", action="store_true", help="print the raw snapshot as JSON"
+    )
+    parser.add_argument(
+        "--memory",
+        action="store_true",
+        help="also report the stage's peak RSS (forked re-run, see above)",
     )
     args = parser.parse_args(argv)
 
@@ -63,8 +78,19 @@ def main(argv=None) -> int:
         f"greedy[{args.size}] ({args.engine} engine): {elapsed:.3f}s "
         f"feasible={result.feasible} makespan={result.makespan}"
     )
+    memory = None
+    if args.memory:
+        memory = measure_peak_rss(_stage, args.size, seed, args.engine)
+        print(
+            f"greedy[{args.size}] memory: peak_rss={memory['peak_rss_mb']}MB "
+            f"(baseline {memory['baseline_rss_mb']}MB, "
+            f"stage delta {memory['delta_mb']}MB)"
+        )
     if args.json:
-        emit_json(perf.snapshot())
+        snapshot = perf.snapshot()
+        if memory is not None:
+            snapshot["memory"] = memory
+        emit_json(snapshot)
     else:
         print(perf.report())
     return 0

@@ -35,6 +35,8 @@ from repro.core import (
     validate_multiflow,
     GreedyResult,
     IntervalTracker,
+    ArrayIntervalTracker,
+    NUMPY_AVAILABLE,
     OptimalResult,
     TimeExtendedNetwork,
     TraceResult,
@@ -70,6 +72,8 @@ __all__ = [
     "TimeExtendedNetwork",
     "TraceResult",
     "IntervalTracker",
+    "ArrayIntervalTracker",
+    "NUMPY_AVAILABLE",
     "GreedyResult",
     "FeasibilityResult",
     "OptimalResult",

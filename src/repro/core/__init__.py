@@ -7,6 +7,7 @@ Layout (one module per concept):
 * :mod:`repro.core.timeext` -- the time-extended network (Definition 4).
 * :mod:`repro.core.trace` -- unit-level dynamic-flow oracle (Defs. 1-3).
 * :mod:`repro.core.intervals` -- scalable exact flow tracking.
+* :mod:`repro.core.intervals_array` -- the same state struct-of-arrays.
 * :mod:`repro.core.dependency` -- Algorithm 3 (dependency relation sets).
 * :mod:`repro.core.loops` -- Algorithm 4 (forwarding-loop check).
 * :mod:`repro.core.greedy` -- Algorithm 2 (the Chronus scheduler).
@@ -29,6 +30,7 @@ from repro.core.schedule import UpdateSchedule, schedule_from_rounds
 from repro.core.timeext import TimeExtendedNetwork, build_window
 from repro.core.trace import TraceResult, trace_schedule, validate_schedule
 from repro.core.intervals import IntervalTracker, replay_schedule
+from repro.core.intervals_array import NUMPY_AVAILABLE, ArrayIntervalTracker
 from repro.core.dependency import DependencySet, dependency_relations
 from repro.core.loops import creates_forwarding_loop
 from repro.core.greedy import GreedyResult, greedy_schedule
@@ -59,6 +61,8 @@ __all__ = [
     "trace_schedule",
     "validate_schedule",
     "IntervalTracker",
+    "ArrayIntervalTracker",
+    "NUMPY_AVAILABLE",
     "replay_schedule",
     "DependencySet",
     "dependency_relations",

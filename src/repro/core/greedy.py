@@ -20,15 +20,22 @@ schedules (a differential test suite pins this over hundreds of seeds):
 * ``"incremental"`` (default): Algorithm 3 runs through a persistent
   :class:`repro.core.dependency.DependencyState` that only recomputes
   verdicts invalidated by last round's commits, and candidate heads are
-  probed one at a time with :meth:`IntervalTracker.probe_and_commit` on a
-  copy-on-write scratch clone that is adopted wholesale when the round is
-  non-empty.  Sequential single-head probes split and sweep each accepted
-  head's fresh suffix exactly once, where the joint preview re-split every
+  probed one at a time with ``probe_and_commit`` on a copy-on-write
+  scratch clone that is adopted wholesale when the round is non-empty.
+  Sequential single-head probes split and sweep each accepted head's
+  fresh suffix exactly once, where the joint preview re-split every
   accumulated head per candidate -- the asymptotic win behind this engine.
+  The flow state lives in the struct-of-arrays tracker
+  (:class:`repro.core.intervals_array.ArrayIntervalTracker`) when numpy is
+  available, falling back to the dict tracker otherwise.
+* ``"incremental-dict"``: the incremental probing strategy on the
+  dict-backed :class:`repro.core.intervals.IntervalTracker`; isolates the
+  representation swap for differential tests and benchmarks.
 * ``"fresh"``: the original from-scratch path -- Algorithm 3 recomputed
   every step, every candidate confirmed with a joint
-  ``preview_round(accepted + [head])``.  Kept as the executable reference
-  the incremental engine is differential-tested against.
+  ``preview_round(accepted + [head])`` on the dict tracker.  Kept as the
+  executable reference both incremental engines are differential-tested
+  against.
 
 Instances without a congestion-free schedule (the ILP can be infeasible;
 cf. Fig. 7) are completed best-effort: the remaining switches are applied in
@@ -47,6 +54,7 @@ from repro.core.dependency import (
 )
 from repro.core.instance import UpdateInstance
 from repro.core.intervals import IntervalTracker, RoundReport
+from repro.core.intervals_array import NUMPY_AVAILABLE, ArrayIntervalTracker
 from repro.core.loops import creates_forwarding_loop
 from repro.core.rounds import greedy_loop_free_rounds
 from repro.core.schedule import UpdateSchedule
@@ -57,7 +65,9 @@ EXACT = "exact"
 PAPER = "paper"
 
 INCREMENTAL = "incremental"
+INCREMENTAL_DICT = "incremental-dict"
 FRESH = "fresh"
+_INCREMENTAL_ENGINES = (INCREMENTAL, INCREMENTAL_DICT)
 
 # Below this pending-set size, a round in which every chain head was
 # rejected falls back to probing every pending switch (exact knowledge is
@@ -122,14 +132,14 @@ def greedy_schedule(
     """
     if mode not in (EXACT, PAPER):
         raise ValueError(f"unknown greedy mode {mode!r}")
-    if engine not in (INCREMENTAL, FRESH):
+    if engine not in (INCREMENTAL, INCREMENTAL_DICT, FRESH):
         raise ValueError(f"unknown greedy engine {engine!r}")
     # Insertion-ordered dict as the pending set: O(1) membership tests and
     # removals with the same stable iteration order a list gave, minus the
     # O(n) ``list.remove`` per committed switch.
     pending: Dict[Node, None] = dict.fromkeys(instance.switches_to_update)
-    tracker = IntervalTracker(instance, t0=t0, background=background)
-    state = DependencyState(instance, pending) if engine == INCREMENTAL else None
+    tracker = _make_tracker(instance, t0, background, engine)
+    state = DependencyState(instance, pending) if engine in _INCREMENTAL_ENGINES else None
     times: Dict[Node, int] = {}
     violations: List[RoundReport] = []
     dependency_log: List[Tuple[int, DependencySet]] = []
@@ -209,6 +219,20 @@ def greedy_schedule(
         violations=violations,
         dependency_log=dependency_log,
     )
+
+
+def _make_tracker(
+    instance: UpdateInstance, t0: int, background, engine: str
+):
+    """The flow-state tracker backing ``engine``.
+
+    The default incremental engine rides the struct-of-arrays tracker and
+    silently degrades to the dict tracker when numpy is missing -- the two
+    are report-identical, so the fallback only costs speed.
+    """
+    if engine == INCREMENTAL and NUMPY_AVAILABLE:
+        return ArrayIntervalTracker(instance, t0=t0, background=background)
+    return IntervalTracker(instance, t0=t0, background=background)
 
 
 def _select_round(

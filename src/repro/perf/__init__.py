@@ -18,7 +18,15 @@ Quick tour::
     perf.reset()
 """
 
+from repro.perf.memory import measure_peak_rss, peak_rss_mb
 from repro.perf.registry import PerfRegistry, perf, timed
 from repro.perf.report import render_report
 
-__all__ = ["PerfRegistry", "perf", "timed", "render_report"]
+__all__ = [
+    "PerfRegistry",
+    "measure_peak_rss",
+    "peak_rss_mb",
+    "perf",
+    "timed",
+    "render_report",
+]

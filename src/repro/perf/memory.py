@@ -1,0 +1,88 @@
+"""Peak-RSS measurement for bench stages.
+
+``ru_maxrss`` is a per-process high-water mark that never resets, so
+measuring one stage inside a long-lived bench process would only report
+the largest stage seen so far.  :func:`measure_peak_rss` therefore forks
+a child per measurement (sharing the parent's imports, so startup adds
+nothing to the peak), runs the stage there and ships the child's counters
+back over a pipe.  On platforms without ``fork`` it degrades to an
+in-process measurement, flagged in the result.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from typing import Any, Callable, Dict
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - Windows
+    resource = None  # type: ignore[assignment]
+
+from repro.runtime.parallel import fork_available
+
+
+def peak_rss_mb() -> float:
+    """This process's lifetime peak resident set size in MiB (0.0 if unknown)."""
+    if resource is None:  # pragma: no cover - Windows
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    if sys.platform == "darwin":  # pragma: no cover - macOS
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def _child(conn, fn: Callable[..., Any], args, kwargs) -> None:
+    baseline = peak_rss_mb()
+    try:
+        fn(*args, **kwargs)
+        conn.send({"baseline_rss_mb": baseline, "peak_rss_mb": peak_rss_mb()})
+    except BaseException as exc:  # pragma: no cover - diagnostic path
+        conn.send({"error": repr(exc)})
+    finally:
+        conn.close()
+
+
+def measure_peak_rss(fn: Callable[..., Any], *args, **kwargs) -> Dict[str, float]:
+    """Run ``fn(*args, **kwargs)`` and report its peak RSS in MiB.
+
+    Returns ``{"baseline_rss_mb", "peak_rss_mb", "delta_mb"}``, rounded to
+     0.1 MiB.  ``baseline_rss_mb`` is the RSS inherited at stage start (the
+    process image plus imports), ``delta_mb`` the stage's own growth.  The
+    function's return value is discarded -- this is a measurement harness,
+    not a call wrapper.  Adds ``"in_process": True`` when ``fork`` is
+    unavailable and the numbers describe the whole process instead.
+    """
+    if fork_available() and resource is not None:
+        context = multiprocessing.get_context("fork")
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        proc = context.Process(target=_child, args=(child_conn, fn, args, kwargs))
+        proc.start()
+        child_conn.close()
+        try:
+            payload = parent_conn.recv()
+        except EOFError:  # pragma: no cover - child died before reporting
+            payload = {"error": "measurement child exited without reporting"}
+        finally:
+            parent_conn.close()
+            proc.join()
+        if "error" in payload:
+            raise RuntimeError(f"peak-RSS measurement failed: {payload['error']}")
+        baseline = payload["baseline_rss_mb"]
+        peak = payload["peak_rss_mb"]
+        return {
+            "baseline_rss_mb": round(baseline, 1),
+            "peak_rss_mb": round(peak, 1),
+            "delta_mb": round(peak - baseline, 1),
+        }
+    baseline = peak_rss_mb()
+    fn(*args, **kwargs)
+    peak = peak_rss_mb()
+    return {
+        "baseline_rss_mb": round(baseline, 1),
+        "peak_rss_mb": round(peak, 1),
+        "delta_mb": round(peak - baseline, 1),
+        "in_process": True,
+    }

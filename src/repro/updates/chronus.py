@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.greedy import EXACT, greedy_schedule
+from repro.core.greedy import EXACT, INCREMENTAL, greedy_schedule
 from repro.core.instance import UpdateInstance
 from repro.updates.base import (
     RuleAccounting,
@@ -30,16 +30,22 @@ class ChronusProtocol(UpdateProtocol):
             :mod:`repro.core.greedy`.
         verify: Attach an independent :class:`repro.core.verdict.Verdict`
             (from :func:`repro.validate.verify_schedule`) to every plan.
+        engine: Greedy engine (``"incremental"``, ``"incremental-dict"``
+            or ``"fresh"``); all engines produce identical schedules, the
+            default rides the struct-of-arrays tracker.
     """
 
     name = "chronus"
 
-    def __init__(self, mode: str = EXACT, verify: bool = False) -> None:
+    def __init__(
+        self, mode: str = EXACT, verify: bool = False, engine: str = INCREMENTAL
+    ) -> None:
         self.mode = mode
         self.verify = verify
+        self.engine = engine
 
     def plan(self, instance: UpdateInstance, t0: int = 0) -> UpdatePlan:
-        result = greedy_schedule(instance, t0=t0, mode=self.mode)
+        result = greedy_schedule(instance, t0=t0, mode=self.mode, engine=self.engine)
         schedule = result.schedule
 
         baseline = count_baseline_rules(instance)

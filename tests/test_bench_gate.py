@@ -13,8 +13,9 @@ sys.modules.setdefault("bench_script", bench)
 _spec.loader.exec_module(bench)
 
 
-def record(seconds, cpus=4, quick=False, profile=False):
-    entry = {"cpus": cpus, "quick": quick, "greedy": {"4000": seconds}}
+def record(seconds, cpus=4, quick=False, profile=False, sizes=None):
+    greedy = sizes if sizes is not None else {"4000": seconds}
+    entry = {"cpus": cpus, "quick": quick, "greedy": dict(greedy)}
     if profile:
         entry["profile"] = {"spans": {}, "counters": {}}
     return entry
@@ -55,3 +56,44 @@ class TestGreedyRegressionGate:
     def test_quick_current_record_skips(self):
         current = {"cpus": 4, "quick": True, "greedy": {"200": 0.05}}
         assert bench.greedy_regression(current, [record(1.0)]) is None
+
+
+class TestMultiSizeGate:
+    """Every measured size gates independently against its own priors."""
+
+    def test_regression_at_a_large_size_fails(self):
+        history = [record(None, sizes={"4000": 1.0, "50000": 8.0})]
+        current = record(None, sizes={"4000": 1.0, "50000": 20.0})
+        message = bench.greedy_regression(current, history)
+        assert message is not None
+        assert "greedy[50000]" in message
+        assert "greedy[4000]" not in message
+
+    def test_new_size_without_priors_skipped(self):
+        # Adding a bench size must never fail its own first run.
+        history = [record(None, sizes={"4000": 1.0})]
+        current = record(None, sizes={"4000": 1.1, "100000": 99.0})
+        assert bench.greedy_regression(current, history) is None
+
+    def test_multiple_failures_all_reported(self):
+        history = [record(None, sizes={"400": 0.1, "4000": 1.0})]
+        current = record(None, sizes={"400": 0.5, "4000": 5.0})
+        message = bench.greedy_regression(current, history)
+        assert message is not None
+        assert "greedy[400]" in message
+        assert "greedy[4000]" in message
+        assert ";" in message
+
+    def test_sizes_gate_against_their_own_best(self):
+        history = [
+            record(None, sizes={"4000": 1.0, "50000": 10.0}),
+            record(None, sizes={"4000": 2.0, "50000": 8.0}),
+        ]
+        # Each current size is within 1.3x of that size's best prior.
+        current = record(None, sizes={"4000": 1.2, "50000": 10.0})
+        assert bench.greedy_regression(current, history) is None
+
+    def test_non_numeric_size_entries_skipped(self):
+        history = [record(None, sizes={"4000": 1.0})]
+        current = record(None, sizes={"4000": "skipped"})
+        assert bench.greedy_regression(current, history) is None

@@ -17,12 +17,14 @@ import time
 
 import pytest
 
-from repro.core.greedy import greedy_schedule
+from repro.core.greedy import _make_tracker, greedy_schedule
 from repro.core.instance import (
     random_instance,
     reversal_instance,
     segmented_instance,
 )
+from repro.core.intervals import IntervalTracker
+from repro.core.intervals_array import NUMPY_AVAILABLE, ArrayIntervalTracker
 from repro.core.serialization import schedule_to_json
 
 
@@ -52,6 +54,30 @@ def test_segmented_instances_byte_identical(seed):
 @pytest.mark.parametrize("count", range(4, 14))
 def test_reversal_instances_byte_identical(count):
     _assert_engines_agree(reversal_instance(count), f"reversal count={count}")
+
+
+@pytest.mark.parametrize("seed", range(0, 140, 7))
+def test_incremental_dict_engine_byte_identical(seed):
+    """The incremental algorithm on the dict tracker matches both others."""
+    instance = random_instance(4 + seed % 13, seed=2500 + seed, max_delay=3)
+    dict_engine = greedy_schedule(instance, engine="incremental-dict")
+    fresh = greedy_schedule(instance, engine="fresh")
+    assert schedule_to_json(dict_engine.schedule) == schedule_to_json(fresh.schedule)
+    assert dict_engine.feasible == fresh.feasible
+    assert dict_engine.stalled_at == fresh.stalled_at
+
+
+def test_default_engine_rides_the_array_tracker():
+    instance = reversal_instance(4)
+    tracker = _make_tracker(instance, 0, None, "incremental")
+    if NUMPY_AVAILABLE:
+        assert isinstance(tracker, ArrayIntervalTracker)
+    else:
+        assert isinstance(tracker, IntervalTracker)
+    assert isinstance(
+        _make_tracker(instance, 0, None, "incremental-dict"), IntervalTracker
+    )
+    assert isinstance(_make_tracker(instance, 0, None, "fresh"), IntervalTracker)
 
 
 def test_unknown_engine_rejected():

@@ -61,6 +61,52 @@ class TestParallelRunnerMechanics:
         assert available_cpus() >= 1
 
 
+class TestMinWorkThreshold:
+    """Tiny sweeps skip the pool; results stay identical either way."""
+
+    def test_default_threshold_enabled(self):
+        assert ParallelRunner().serial_threshold_seconds == 0.5
+
+    def test_cheap_items_fall_back_to_serial(self, monkeypatch):
+        # Sub-millisecond items never amortise a pool; if the pool were
+        # still consulted this would explode via the patched executor.
+        import repro.runtime.parallel as parallel_module
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("pool must not start for tiny work")
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", _boom)
+        runner = ParallelRunner(max_workers=4)
+        items = list(range(50))
+        assert runner.map(_square, items) == [x * x for x in items]
+
+    def test_zero_threshold_forces_pool_with_identical_results(self):
+        items = list(range(30))
+        eager = ParallelRunner(max_workers=4, serial_threshold_seconds=0.0)
+        assert eager.map(_square, items) == [x * x for x in items]
+
+    def test_threshold_fallback_preserves_order(self):
+        runner = ParallelRunner(max_workers=4, serial_threshold_seconds=60.0)
+        items = list(range(23))
+        assert runner.map(_square, items) == [x * x for x in items]
+
+    def test_single_cpu_stays_in_process(self, monkeypatch):
+        # On a one-core box the pool can only add cost, whatever the
+        # projected work; the runner must not even probe the first item
+        # through the pool path.
+        import repro.runtime.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "available_cpus", lambda: 1)
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("pool must not start on a single-core box")
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", _boom)
+        runner = ParallelRunner(max_workers=8, serial_threshold_seconds=0.0)
+        items = list(range(40))
+        assert runner.map(_square, items) == [x * x for x in items]
+
+
 class TestSweepDeterminism:
     # Deterministic OPT/OR bounds: record identity must not depend on wall
     # clock (see run_sweep's docstring).
