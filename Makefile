@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-full validate validate-fast profile faults pipeline-smoke
+.PHONY: test test-fast bench bench-full validate validate-fast profile faults pipeline-smoke trace-smoke
 
 test:            ## full tier-1 suite + quick conformance gate
 	$(PYTHON) -m pytest -x -q
@@ -30,3 +30,6 @@ faults:          ## fault-severity ablation: chronus/or/tp under an imperfect co
 
 pipeline-smoke:  ## kill-and-resume a tiny scenario; gate on byte-identical records
 	$(PYTHON) scripts/pipeline_smoke.py
+
+trace-smoke:     ## pool run with a SQLite sink; gate on worker spans reaching it
+	$(PYTHON) scripts/trace_smoke.py

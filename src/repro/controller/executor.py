@@ -28,6 +28,7 @@ from repro.core.schedule import UpdateSchedule
 from repro.network.graph import Node
 from repro.simulator.dataplane import DataPlane
 from repro.simulator.flowtable import FlowRule, Match
+from repro.trace.recorder import trace_event
 
 
 @dataclass
@@ -137,9 +138,18 @@ def perform_timed_update(
             applied = controller.apply_time(node, xid)
             if applied is not None:
                 trace.applied[node] = applied
+                trace_event(
+                    "apply",
+                    switch=str(node),
+                    planned=round(trace.planned[node], 6),
+                    applied=round(applied, 6),
+                )
                 lateness = controller.lateness(node, xid)
                 if lateness is not None:
                     trace.late[node] = lateness
+                    trace_event(
+                        "late", switch=str(node), seconds=round(lateness, 6)
+                    )
             else:
                 pending = True
         if pending:
@@ -182,6 +192,12 @@ def perform_round_update(
                 applied = controller.apply_time(node, xid)
                 if applied is not None:
                     trace.applied[node] = applied
+                    trace_event(
+                        "apply",
+                        switch=str(node),
+                        planned=round(trace.planned[node], 6),
+                        applied=round(applied, 6),
+                    )
             trace.finished_at = sim.now
             if on_finish is not None:
                 on_finish(trace)

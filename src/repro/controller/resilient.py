@@ -47,6 +47,7 @@ from repro.network.graph import Node
 from repro.simulator.dataplane import DataPlane
 from repro.simulator.flowtable import FlowRule, Match
 from repro.simulator.switch import HOST_PORT
+from repro.trace.recorder import trace_event
 
 ROUNDS = "rounds"
 TIMED = "timed"
@@ -256,6 +257,7 @@ class _ResilientRun:
             self._abort("deadline passed during retry")
             return
         self.trace.retries[node] = self.trace.retries.get(node, 0) + 1
+        trace_event("retry", switch=str(node), attempt=self._attempt[node])
         # Same xid: a retry whose original arrived is deduplicated by the
         # switch, so resending is always safe.
         self._controller.send_flow_mod(node, self._current[node].message)
@@ -296,6 +298,7 @@ class _ResilientRun:
             if message is not None:
                 self._controller.send_flow_mod(item.node, message)
                 self.trace.rolled_back.append(item.node)
+                trace_event("rollback", switch=str(item.node), reason=reason)
         self.trace.finished_at = self._sim.now
         if self._on_finish is not None:
             self._on_finish(self.trace)

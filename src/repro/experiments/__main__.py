@@ -86,6 +86,22 @@ def _add_context_flags(parser: argparse.ArgumentParser) -> None:
         "executing on the discrete-event plane honour it)",
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="SINK",
+        help="record an execution trace: console, jsonl[:PATH] or "
+        "sqlite[:PATH]; file sinks default into the run directory "
+        "(inspect with python -m repro.trace)",
+    )
+    parser.add_argument(
+        "--serial-threshold",
+        type=float,
+        default=None,
+        metavar="S",
+        help="min projected pool work in seconds (0 always uses the pool; "
+        "default: the runner's heuristic)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress the progress line"
     )
 
@@ -172,6 +188,8 @@ def _context(args: argparse.Namespace) -> RunContext:
         verify=args.verify,
         profile=args.profile,
         fault_severity=args.fault_severity,
+        trace=args.trace,
+        serial_threshold_seconds=args.serial_threshold,
     )
     ctx.progress = progress_printer("record", quiet=args.quiet)
     return ctx
@@ -234,6 +252,10 @@ def _cmd_run(args: argparse.Namespace, resume: bool) -> int:
             f"{stored.scenario.name}: {len(stored.records)} record(s)"
             f"{skipped}{early} -> {stored.handle.directory}"
         )
+        trace_meta = stored.handle.manifest.get("trace")
+        if isinstance(trace_meta, dict):
+            where = trace_meta.get("path") or trace_meta.get("sink")
+            print(f"trace: {where} (inspect: python -m repro.trace show)")
     if not args.no_report:
         print(stored.aggregate().render())
     _print_profile(args)

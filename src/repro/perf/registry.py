@@ -113,6 +113,34 @@ class PerfRegistry:
         self._spans.clear()
         self._counters.clear()
 
+    def drain(self) -> Dict[str, Dict]:
+        """Hand over (and clear) spans/counters; keeps the span *stack*.
+
+        This is the pool-worker transfer primitive: a forked worker
+        inherits the parent's open-span stack (so its spans keep nesting
+        under ``pipeline.<scenario>``) but must not re-ship the parent's
+        already-recorded data.  Draining at chunk start discards the
+        inherited copy; draining at chunk end yields exactly the chunk's
+        own contribution (see :mod:`repro.trace.worker`).
+        """
+        snapshot = self.snapshot()
+        self._spans.clear()
+        self._counters.clear()
+        return snapshot
+
+    def merge(self, snapshot: Dict[str, Dict]) -> None:
+        """Add a drained snapshot's spans and counters into this registry."""
+        for path, stat in (snapshot.get("spans") or {}).items():
+            current = self._spans.get(path)
+            if current is None:
+                self._spans[path] = [int(stat["calls"]), float(stat["seconds"])]
+            else:
+                current[0] += int(stat["calls"])
+                current[1] += float(stat["seconds"])
+        counters = self._counters
+        for name, value in (snapshot.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------

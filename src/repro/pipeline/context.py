@@ -28,10 +28,16 @@ class WorkerContext:
             :func:`repro.faults.severity_spec` scalar) for scenarios that
             execute on the discrete-event plane; analytic scenarios
             ignore it.
+        trace_id: The run's trace id when a sink is enabled, ``None``
+            otherwise.  The executor's worker entry point opens an
+            ``item:<key>`` span (and links the record to it) only when
+            this matches the process-global recorder's live trace --
+            which pool workers inherit through ``fork``.
     """
 
     verify: bool = False
     fault_severity: Optional[float] = None
+    trace_id: Optional[str] = None
 
 
 @dataclass
@@ -46,6 +52,14 @@ class RunContext:
         profile: Enable the :mod:`repro.perf` registry around the run; the
             executor wraps the scenario in a ``pipeline.<name>`` span.
         fault_severity: See :class:`WorkerContext`.
+        trace: Optional trace-sink spec (``"console"``, ``"jsonl[:PATH]"``,
+            ``"sqlite[:PATH]"``; see :func:`repro.trace.open_sink`).  File
+            sinks without an explicit path land in the run directory.
+            Tracing is observability-only: records stay byte-identical to
+            an untraced run apart from the added ``trace`` id field.
+        serial_threshold_seconds: Overrides the runner's min-work probe
+            threshold (``0`` always uses the pool); ``None`` keeps the
+            :class:`ParallelRunner` default.
         runner: Pre-configured :class:`ParallelRunner`; built from
             ``workers`` when omitted.
         progress: Called with ``(done, total)`` after every record.
@@ -55,12 +69,19 @@ class RunContext:
     verify: bool = False
     profile: bool = False
     fault_severity: Optional[float] = None
+    trace: Optional[str] = None
+    serial_threshold_seconds: Optional[float] = None
     runner: Optional[ParallelRunner] = None
     progress: Optional[Callable[[int, int], None]] = None
 
     def __post_init__(self) -> None:
         if self.runner is None:
-            self.runner = ParallelRunner(max_workers=self.workers, chunk_size=1)
+            kwargs = {}
+            if self.serial_threshold_seconds is not None:
+                kwargs["serial_threshold_seconds"] = self.serial_threshold_seconds
+            self.runner = ParallelRunner(
+                max_workers=self.workers, chunk_size=1, **kwargs
+            )
 
     @property
     def batch_size(self) -> int:
@@ -76,9 +97,11 @@ class RunContext:
             return 1
         return self.workers * 2
 
-    def worker_context(self) -> WorkerContext:
+    def worker_context(self, trace_id: Optional[str] = None) -> WorkerContext:
         return WorkerContext(
-            verify=self.verify, fault_severity=self.fault_severity
+            verify=self.verify,
+            fault_severity=self.fault_severity,
+            trace_id=trace_id,
         )
 
     @staticmethod

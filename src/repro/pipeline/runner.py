@@ -25,7 +25,9 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 from repro.perf import perf
 from repro.pipeline.context import RunContext, WorkerContext
 from repro.pipeline.scenario import Scenario, get_scenario
-from repro.pipeline.store import ArtifactStore, RunHandle, canonical_json
+from repro.pipeline.store import ArtifactStore, RunHandle, canonical_json, new_run_id
+from repro.trace.recorder import perf_delta, recorder, worker_attributes
+from repro.trace.session import TraceSession
 
 import json
 
@@ -54,10 +56,43 @@ class _ItemTask:
 
 
 def evaluate_task(task: _ItemTask) -> Dict[str, object]:
-    """Worker entry point: look the scenario up and evaluate one item."""
+    """Worker entry point: look the scenario up and evaluate one item.
+
+    When the run is traced (the task's ``trace_id`` matches the live
+    recorder -- pool workers inherit the configured recorder through
+    ``fork``), the item evaluates inside an ``item:<key>`` span: the
+    item's :mod:`repro.perf` delta streams as child spans/counter
+    events, executor ``apply``/``late`` events attach to the open span,
+    and the returned record carries a ``trace`` field linking it to its
+    span.  Untraced runs take the original path untouched.
+    """
     scenario = get_scenario(task.scenario)
-    record = dict(scenario.evaluate(task.item, task.params, task.worker_context))
-    record.setdefault("key", task.item["key"])
+    wctx = task.worker_context
+    tracing = (
+        wctx.trace_id is not None
+        and recorder.enabled
+        and recorder.trace_id == wctx.trace_id
+    )
+    if not tracing:
+        record = dict(scenario.evaluate(task.item, task.params, wctx))
+        record.setdefault("key", task.item["key"])
+        return record
+
+    key = str(task.item["key"])
+    attributes = worker_attributes()
+    attributes["key"] = key
+    for extra in ("switch_count", "seed"):
+        if extra in task.item:
+            attributes[extra] = task.item[extra]
+    before = perf.snapshot()
+    with recorder.span(f"item:{key}", attributes) as span:
+        record = dict(scenario.evaluate(task.item, task.params, wctx))
+        record.setdefault("key", task.item["key"])
+        recorder.perf_spans(
+            perf_delta(before, perf.snapshot()),
+            strip_prefix=f"pipeline.{task.scenario}.",
+        )
+    record["trace"] = {"trace_id": recorder.trace_id, "span_id": span.span_id}
     return record
 
 
@@ -78,6 +113,7 @@ def execute(
     sink: Callable[[Dict[str, object]], None],
     prior_records: Sequence[Mapping[str, object]] = (),
     stop_after: Optional[int] = None,
+    trace: Optional[TraceSession] = None,
 ) -> ExecutionSummary:
     """Evaluate a scenario's items in order, feeding each record to ``sink``.
 
@@ -87,6 +123,12 @@ def execute(
     so in-memory aggregation operates on exactly what a stored run would
     read back.  ``stop_after`` raises :class:`RunInterrupted` once that
     many *new* records have been sunk.
+
+    ``trace`` (a begun-or-not :class:`~repro.trace.session.TraceSession`)
+    turns the run into a trace: the executor begins the session, flushes
+    buffered records to its sink after every checkpointed batch, and
+    finishes it -- with status ``interrupted`` when ``stop_after`` or the
+    caller's kill cuts the run short -- however the run ends.
     """
     items = list(scenario.items(params))
     keys = [str(item["key"]) for item in items]
@@ -113,36 +155,49 @@ def execute(
 
     if ctx.profile:
         perf.enable()
-    wctx = ctx.worker_context()
+    if trace is not None:
+        trace.begin(params)
+    wctx = ctx.worker_context(trace.trace_id if trace is not None else None)
     batch_size = ctx.batch_size
-    with perf.span(f"pipeline.{scenario.name}"):
-        for start in range(0, len(pending), batch_size):
-            batch = pending[start : start + batch_size]
-            tasks = [
-                _ItemTask(
-                    scenario=scenario.name,
-                    params=params,
-                    item=item,
-                    worker_context=wctx,
-                )
-                for item in batch
-            ]
-            for record in ctx.runner.map(evaluate_task, tasks):
-                record = json.loads(canonical_json(record))
-                sink(record)
-                records.append(record)
-                summary.emitted += 1
-                if ctx.progress is not None:
-                    ctx.progress(summary.skipped + summary.emitted, len(items))
-                if stop_after is not None and summary.emitted >= stop_after:
-                    raise RunInterrupted(
-                        f"stopped {scenario.name} after {summary.emitted} new "
-                        f"record(s) as requested"
+    status = "interrupted"
+    try:
+        with perf.span(f"pipeline.{scenario.name}"):
+            for start in range(0, len(pending), batch_size):
+                batch = pending[start : start + batch_size]
+                tasks = [
+                    _ItemTask(
+                        scenario=scenario.name,
+                        params=params,
+                        item=item,
+                        worker_context=wctx,
                     )
-                if scenario.enough is not None and scenario.enough(records, params):
-                    summary.satisfied_early = True
-                    return summary
-    return summary
+                    for item in batch
+                ]
+                for record in ctx.runner.map(evaluate_task, tasks):
+                    record = json.loads(canonical_json(record))
+                    sink(record)
+                    records.append(record)
+                    summary.emitted += 1
+                    if ctx.progress is not None:
+                        ctx.progress(summary.skipped + summary.emitted, len(items))
+                    if stop_after is not None and summary.emitted >= stop_after:
+                        raise RunInterrupted(
+                            f"stopped {scenario.name} after {summary.emitted} new "
+                            f"record(s) as requested"
+                        )
+                    if scenario.enough is not None and scenario.enough(
+                        records, params
+                    ):
+                        summary.satisfied_early = True
+                        status = "ok"
+                        return summary
+                if trace is not None:
+                    trace.flush()
+        status = "ok"
+        return summary
+    finally:
+        if trace is not None:
+            trace.finish(status)
 
 
 @dataclass
@@ -159,6 +214,18 @@ class StoredRun:
         return self.scenario.aggregate(self.records, self.params)
 
 
+def _trace_session(
+    ctx: RunContext, scenario_name: str, run_id: str, directory=None
+) -> Optional[TraceSession]:
+    """Build the run's :class:`TraceSession` when ``ctx.trace`` asks for one."""
+    if not ctx.trace:
+        return None
+    from repro.trace.sinks import open_sink
+
+    sink = open_sink(ctx.trace, directory=directory)
+    return TraceSession(sink, scenario=scenario_name, run_id=run_id)
+
+
 def run_in_memory(
     name: str,
     overrides: Optional[Mapping[str, object]] = None,
@@ -172,7 +239,11 @@ def run_in_memory(
     # aggregate from identical data.
     params = json.loads(canonical_json(params))
     records: List[Dict[str, object]] = []
-    execute(scenario, params, ctx or RunContext(), records.append)
+    ctx = ctx or RunContext()
+    # In-memory runs have no run directory: file sinks without an
+    # explicit path land in the working directory.
+    trace = _trace_session(ctx, name, new_run_id())
+    execute(scenario, params, ctx, records.append, trace=trace)
     return scenario.aggregate(records, params)
 
 
@@ -215,9 +286,29 @@ def run_to_store(
         handle.append(record)
         records.append(record)
 
+    trace = _trace_session(ctx, name, handle.run_id, directory=handle.directory)
+    if trace is not None:
+        # Stamp the manifest so `python -m repro.trace` (and readers of
+        # the run directory) can find the trace without guessing.
+        trace_meta: Dict[str, object] = {
+            "sink": ctx.trace,
+            "trace_id": trace.trace_id,
+        }
+        sink_path = trace.sink_path
+        if sink_path is not None:
+            trace_meta["path"] = str(sink_path)
+        handle.manifest["trace"] = trace_meta
+        handle.write_manifest()
+
     try:
         summary = execute(
-            scenario, params, ctx, sink, prior_records=prior, stop_after=stop_after
+            scenario,
+            params,
+            ctx,
+            sink,
+            prior_records=prior,
+            stop_after=stop_after,
+            trace=trace,
         )
     except RunInterrupted as interrupted:
         # Leave the manifest in `running` -- exactly what a kill leaves.

@@ -21,10 +21,12 @@ file is byte-identical to a never-interrupted run (pinned by
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import subprocess
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional
 
@@ -239,9 +241,25 @@ class ArtifactStore:
         return RunHandle(directory, manifest)
 
 
+#: Per-process monotonic suffix of :func:`new_run_id`.  Two runs created
+#: in the same second by the same process used to collide (``create``
+#: raised :class:`StoreError`); the counter makes every id unique *and*
+#: orders same-second ids by creation.
+_RUN_ID_SEQ = itertools.count()
+
+
 def new_run_id() -> str:
-    """Time-prefixed (hence sortable) unique-enough run id."""
-    return f"{time.strftime('%Y%m%dT%H%M%S')}-{os.getpid()}"
+    """Unique run id whose lexicographic order is creation order.
+
+    ``<UTC time>-<pid, zero-padded>-<per-process counter, zero-padded>``.
+    Every component is fixed width, so plain string sorting -- what
+    :meth:`ArtifactStore.run_ids` and therefore ``latest_run_id`` do --
+    agrees with ``(time, pid, sequence)`` ordering.  The old variable
+    width ``-<pid>`` suffix sorted ``...-99`` *after* ``...-100`` and
+    could make ``latest_run_id`` resume the wrong same-second run.
+    """
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"{stamp}-{os.getpid():08d}-{next(_RUN_ID_SEQ):06d}"
 
 
 def _jsonable(data: Mapping[str, object]) -> Dict[str, object]:
@@ -251,4 +269,10 @@ def _jsonable(data: Mapping[str, object]) -> Dict[str, object]:
 
 
 def _now() -> str:
-    return time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    """Timezone-aware UTC ISO-8601 manifest timestamp.
+
+    The old ``time.strftime('%z')`` rendering used *local* time and an
+    offset that is empty on platforms whose strftime lacks ``%z``,
+    leaving manifests with unzoned, machine-dependent times.
+    """
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")

@@ -67,6 +67,39 @@ def _run_chunk(fn: Callable[[Item], Result], chunk: Sequence[Item]) -> List[Resu
     return [fn(item) for item in chunk]
 
 
+def _run_chunk_collecting(
+    fn: Callable[[Item], Result],
+    chunk: Sequence[Item],
+    prepare: Callable[[], None],
+    collect: Callable[[], object],
+):
+    """Like :func:`_run_chunk`, bracketed by worker-state hooks.
+
+    ``prepare`` drains fork-inherited profiling/trace state so the
+    parent's data is never shipped back twice; ``collect`` returns the
+    chunk's own contribution alongside its results.
+    """
+    prepare()
+    results = [fn(item) for item in chunk]
+    return results, collect()
+
+
+def _collection_hooks():
+    """(prepare, collect, merge) when perf/trace state must cross the pool.
+
+    ``fork`` pool workers accumulate :mod:`repro.perf` spans and trace
+    records in their own process globals; without collection they die
+    with the worker and the parent's report only shows its in-process
+    first-item probe.  The hooks live in :mod:`repro.trace.worker`; this
+    returns ``None`` (zero overhead) when neither registry is live.
+    """
+    try:
+        from repro.trace.worker import collection_hooks
+    except ImportError:  # pragma: no cover - trace layer always ships
+        return None
+    return collection_hooks()
+
+
 @dataclass
 class ParallelRunner:
     """Ordered, deterministic ``map`` over a process pool.
@@ -122,16 +155,37 @@ class ParallelRunner:
             if first_seconds * len(rest) < self.serial_threshold_seconds:
                 return head + [fn(item) for item in rest]
         chunks = self._chunks(rest)
+        hooks = _collection_hooks()
         try:
             context = multiprocessing.get_context("fork")
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(chunks)),
                 mp_context=context,
             ) as pool:
-                futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
-                results: List[Result] = list(head)
+                if hooks is None:
+                    futures = [
+                        pool.submit(_run_chunk, fn, chunk) for chunk in chunks
+                    ]
+                    results: List[Result] = list(head)
+                    for future in futures:
+                        results.extend(future.result())
+                    return results
+                prepare, collect, merge = hooks
+                futures = [
+                    pool.submit(_run_chunk_collecting, fn, chunk, prepare, collect)
+                    for chunk in chunks
+                ]
+                results = list(head)
+                payloads = []
                 for future in futures:
-                    results.extend(future.result())
+                    chunk_results, payload = future.result()
+                    results.extend(chunk_results)
+                    payloads.append(payload)
+                # Merge only once every chunk succeeded, in submission
+                # order, so a broken pool never leaves half-merged state
+                # behind before the in-process redo below.
+                for payload in payloads:
+                    merge(payload)
                 return results
         except (BrokenProcessPool, pickle.PicklingError):
             # A worker died or a result would not round-trip; the items

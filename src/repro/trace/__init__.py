@@ -1,0 +1,59 @@
+"""``repro.trace``: the unified observability layer (spans, events, sinks).
+
+Before this package the harness had three disjoint views of one run:
+:mod:`repro.perf` counters/spans, the pipeline's ``records.jsonl`` and
+the executors' :class:`~repro.controller.executor.ExecutionTrace`.
+They now meet on a single OTel-shaped record stream
+(:class:`TraceRecord`), produced by the **pipeline runner and the
+executors only** and consumed through a pluggable :class:`TraceSink`
+(console / JSONL / SQLite):
+
+* the runner opens a ``run`` root span and one ``item:<key>`` span per
+  evaluated item (attributes: key, seed, pid);
+* each item's :mod:`repro.perf` delta streams as aggregate child spans
+  and ``counter:*`` events;
+* the executors' per-switch ``apply`` / ``late`` / retry evidence
+  lands as span events (:func:`trace_event`);
+* pipeline records gain a ``trace`` field linking them to their span --
+  only when a sink is enabled, so untraced records stay byte-identical.
+
+Tracing is observability-only: nothing on the planning side reads it.
+Pool workers buffer records in the process-global :data:`recorder` and
+ship them back with their chunk results (see :mod:`repro.trace.worker`),
+so sinks only ever run in the parent process.
+
+Quick tour::
+
+    python -m repro.experiments run sweep --workers 2 --trace sqlite
+    python -m repro.trace show                # tree view of the run
+    python -m repro.trace spans --switch s3   # one switch's evidence
+    python -m repro.trace slowest -n 15       # where the time went
+"""
+
+from repro.trace.record import TraceRecord, derive_trace_id, utc_now_iso
+from repro.trace.recorder import TraceRecorder, recorder, trace_event
+from repro.trace.session import TraceSession
+from repro.trace.sinks import (
+    ConsoleSink,
+    JsonlSink,
+    SqliteSink,
+    TraceSink,
+    open_sink,
+)
+from repro.trace.query import read_trace
+
+__all__ = [
+    "ConsoleSink",
+    "JsonlSink",
+    "SqliteSink",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceSession",
+    "TraceSink",
+    "derive_trace_id",
+    "open_sink",
+    "read_trace",
+    "recorder",
+    "trace_event",
+    "utc_now_iso",
+]

@@ -1,0 +1,209 @@
+"""Read traces back: loading, filtering and the report renderers.
+
+Every function here is sink-agnostic: :func:`read_trace` sniffs whether
+a path is a SQLite database or a JSONL file and returns the same
+``List[TraceRecord]`` either way (pinned by the round-trip tests), and
+the renderers operate on records only.  The CLI in
+:mod:`repro.trace.__main__` is a thin argparse shell over this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.trace.record import TraceRecord, record_from_line
+
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+
+
+class TraceQueryError(RuntimeError):
+    """A trace file that cannot be located or read."""
+
+
+def is_sqlite_file(path) -> bool:
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(_SQLITE_MAGIC)) == _SQLITE_MAGIC
+    except OSError:
+        return False
+
+
+def read_trace(path) -> List[TraceRecord]:
+    """All records of one trace file (JSONL or SQLite), emission order."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceQueryError(f"no trace file at {path}")
+    if is_sqlite_file(path):
+        return _read_sqlite(path)
+    return _read_jsonl(path)
+
+
+def _read_jsonl(path: Path) -> List[TraceRecord]:
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(record_from_line(line))
+    return records
+
+
+def _read_sqlite(path: Path) -> List[TraceRecord]:
+    conn = sqlite3.connect(str(path))
+    try:
+        rows = conn.execute(
+            "SELECT kind, trace_id, span_id, parent_id, name, scenario, "
+            "start_time, end_time, duration_ms, status, attributes "
+            "FROM records ORDER BY seq"
+        ).fetchall()
+    finally:
+        conn.close()
+    return [
+        TraceRecord(
+            kind=row[0],
+            trace_id=row[1],
+            span_id=row[2],
+            parent_id=row[3],
+            name=row[4],
+            scenario=row[5],
+            start_time=row[6],
+            end_time=row[7],
+            duration_ms=row[8],
+            status=row[9],
+            attributes=json.loads(row[10]),
+        )
+        for row in rows
+    ]
+
+
+def default_trace_path(runs_root: Optional[str] = None) -> Path:
+    """The newest ``trace.db`` / ``trace.jsonl`` under the runs root."""
+    root = Path(
+        runs_root
+        if runs_root is not None
+        else os.environ.get("REPRO_RUNS_DIR", "runs")
+    )
+    candidates = sorted(
+        list(root.glob("*/*/trace.db")) + list(root.glob("*/*/trace.jsonl")),
+        key=lambda p: p.stat().st_mtime,
+    )
+    if not candidates:
+        raise TraceQueryError(
+            f"no trace.db or trace.jsonl under {root}; run a scenario with "
+            f"--trace sqlite (or jsonl), or pass --path explicitly"
+        )
+    return candidates[-1]
+
+
+def filter_records(
+    records: Sequence[TraceRecord],
+    trace_id: Optional[str] = None,
+    scenario: Optional[str] = None,
+    name: Optional[str] = None,
+    switch: Optional[str] = None,
+    kind: Optional[str] = None,
+) -> List[TraceRecord]:
+    """Subset by trace, scenario, name substring, switch attribute, kind."""
+    out = []
+    for record in records:
+        if trace_id is not None and not record.trace_id.startswith(trace_id):
+            continue
+        if scenario is not None and record.scenario != scenario:
+            continue
+        if name is not None and name not in record.name:
+            continue
+        if switch is not None and str(record.attributes.get("switch")) != switch:
+            continue
+        if kind is not None and record.kind != kind:
+            continue
+        out.append(record)
+    return out
+
+
+# ----------------------------------------------------------------------
+# renderers
+# ----------------------------------------------------------------------
+
+def _span_line(record: TraceRecord, depth: int) -> str:
+    duration = (
+        f" {record.duration_ms:.1f}ms" if record.duration_ms is not None else ""
+    )
+    status = "" if record.status == "ok" else f" !{record.status}"
+    extras = []
+    for key in ("key", "switch", "calls", "value", "run_id"):
+        if key in record.attributes:
+            extras.append(f"{key}={record.attributes[key]}")
+    tag = "" if record.kind == "span" else "* "
+    extra = f"  [{' '.join(extras)}]" if extras else ""
+    return f"{'  ' * depth}{tag}{record.name}{duration}{status}{extra}"
+
+
+def render_tree(records: Sequence[TraceRecord]) -> str:
+    """Indent records under their parent spans, one trace after another."""
+    by_parent: Dict[Optional[str], List[TraceRecord]] = {}
+    span_ids = {r.span_id for r in records}
+    for record in records:
+        parent = record.parent_id if record.parent_id in span_ids else None
+        by_parent.setdefault(parent, []).append(record)
+
+    lines: List[str] = []
+
+    def emit(record: TraceRecord, depth: int) -> None:
+        lines.append(_span_line(record, depth))
+        for child in by_parent.get(record.span_id, ()):  # emission order
+            emit(child, depth + 1)
+
+    for root in by_parent.get(None, ()):  # orphans render at the top level
+        emit(root, 0)
+    return "\n".join(lines) if lines else "(no records)"
+
+
+def slowest_spans(records: Sequence[TraceRecord], limit: int = 10) -> List[TraceRecord]:
+    spans = [r for r in records if r.kind == "span" and r.duration_ms is not None]
+    spans.sort(key=lambda r: (-r.duration_ms, r.name))  # type: ignore[operator]
+    return spans[:limit]
+
+
+def render_slowest(records: Sequence[TraceRecord], limit: int = 10) -> str:
+    rows = slowest_spans(records, limit)
+    if not rows:
+        return "(no spans with durations)"
+    name_width = max(len(r.name) for r in rows)
+    lines = [f"{'span':<{name_width}}  {'ms':>10}  {'calls':>6}  scenario"]
+    for record in rows:
+        calls = record.attributes.get("calls", 1)
+        lines.append(
+            f"{record.name:<{name_width}}  {record.duration_ms:>10.1f}  "
+            f"{calls!s:>6}  {record.scenario}"
+        )
+    return "\n".join(lines)
+
+
+def render_traces(records: Sequence[TraceRecord]) -> str:
+    """One line per trace id: scenario, run id, span/event counts."""
+    traces: Dict[str, Dict[str, object]] = {}
+    for record in records:
+        info = traces.setdefault(
+            record.trace_id,
+            {"scenario": record.scenario, "spans": 0, "events": 0,
+             "run_id": "?", "start": record.start_time},
+        )
+        info["spans" if record.kind == "span" else "events"] += 1  # type: ignore[operator]
+        if record.name == "run" and "run_id" in record.attributes:
+            info["run_id"] = record.attributes["run_id"]
+        info["start"] = min(str(info["start"]), record.start_time)
+    if not traces:
+        return "(no traces)"
+    lines = []
+    for trace_id, info in sorted(traces.items(), key=lambda kv: str(kv[1]["start"])):
+        lines.append(
+            f"{trace_id}  {info['scenario']:<12} run={info['run_id']}  "
+            f"{info['spans']} span(s) {info['events']} event(s)  "
+            f"since {info['start']}"
+        )
+    return "\n".join(lines)

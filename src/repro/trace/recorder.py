@@ -1,0 +1,315 @@
+"""The process-global trace recorder: an in-memory tape of TraceRecords.
+
+Ownership follows the fundloads kernel spec: **only the pipeline runner
+and the executors emit trace records** -- schedulers and scenarios never
+talk to sinks, and nothing on the planning side ever reads the tape.
+The recorder is the kernel-owned middleman: instrumented call sites
+append to its buffer, and whoever owns the sink (the
+:class:`~repro.trace.session.TraceSession` in the parent process, the
+chunk sidecar in pool workers) drains the buffer in execution order.
+
+Like :data:`repro.perf.perf`, the recorder is process-local, disabled by
+default, and near-free when disabled (one attribute check per call
+site).  Pool workers inherit an *enabled* recorder -- trace id, open
+span stack and all -- through ``fork``; the chunk hooks in
+:mod:`repro.trace.worker` drain the inherited buffer before running so
+parent records are never duplicated, then ship the worker's own records
+back with the chunk results.
+
+Span ids are **deterministic**: derived from the trace id, the parent
+span and a per-``(parent, name)`` sequence number (see
+:func:`repro.trace.record.derive_span_id`), never from time or
+randomness.  A serial run and a pool run of the same run id therefore
+produce identical trees -- the property the lockstep tests pin.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.trace.record import (
+    EVENT,
+    SPAN,
+    TraceRecord,
+    derive_span_id,
+    utc_now_iso,
+)
+
+
+def _clean_attributes(attributes: Optional[Mapping[str, object]]) -> Dict[str, object]:
+    """Drop ``None`` values; everything else must be JSON-serialisable."""
+    if not attributes:
+        return {}
+    return {key: value for key, value in attributes.items() if value is not None}
+
+
+class _NullSpanHandle:
+    """Shared do-nothing handle for the disabled fast path."""
+
+    __slots__ = ()
+    span_id: Optional[str] = None
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def close(self, status: str = "ok") -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+class SpanHandle:
+    """One open span; closing it appends the span record to the tape."""
+
+    __slots__ = (
+        "_recorder",
+        "span_id",
+        "parent_id",
+        "name",
+        "attributes",
+        "_start_iso",
+        "_started",
+        "_closed",
+    )
+
+    def __init__(
+        self,
+        recorder: "TraceRecorder",
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        attributes: Dict[str, object],
+    ) -> None:
+        self._recorder = recorder
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attributes = attributes
+        self._start_iso = utc_now_iso()
+        self._started = time.perf_counter()
+        self._closed = False
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> bool:
+        self.close(status="error" if exc_type is not None else "ok")
+        return False
+
+    def close(self, status: str = "ok") -> None:
+        if self._closed:
+            return
+        self._closed = True
+        recorder = self._recorder
+        if recorder._stack and recorder._stack[-1] == self.span_id:
+            recorder._stack.pop()
+        elapsed_ms = (time.perf_counter() - self._started) * 1000.0
+        recorder._records.append(
+            TraceRecord(
+                kind=SPAN,
+                trace_id=recorder.trace_id,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                name=self.name,
+                scenario=recorder.scenario,
+                start_time=self._start_iso,
+                end_time=utc_now_iso(),
+                duration_ms=round(elapsed_ms, 3),
+                status=status,
+                attributes=self.attributes,
+            )
+        )
+
+
+class TraceRecorder:
+    """The per-process tape plus the dynamic span stack.
+
+    All state is process-local and single-threaded by design (the
+    schedulers are single-threaded; the pool parallelism is process
+    level, reconciled by the chunk hooks).
+    """
+
+    __slots__ = ("enabled", "trace_id", "scenario", "_records", "_stack", "_seq")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.trace_id = ""
+        self.scenario = ""
+        self._records: List[TraceRecord] = []
+        self._stack: List[str] = []
+        self._seq: Dict[Tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def configure(self, trace_id: str, scenario: str) -> None:
+        """Start recording one trace (clears any previous tape)."""
+        self.trace_id = trace_id
+        self.scenario = scenario
+        self._records = []
+        self._stack = []
+        self._seq = {}
+        self.enabled = True
+
+    def deactivate(self) -> None:
+        """Stop recording and drop all state."""
+        self.enabled = False
+        self.trace_id = ""
+        self.scenario = ""
+        self._records = []
+        self._stack = []
+        self._seq = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def current_span_id(self) -> Optional[str]:
+        return self._stack[-1] if self._stack else None
+
+    def _next_id(self, parent_id: Optional[str], name: str) -> str:
+        key = (parent_id or "", name)
+        seq = self._seq.get(key, 0)
+        self._seq[key] = seq + 1
+        return derive_span_id(self.trace_id, parent_id, name, seq)
+
+    def span(self, name: str, attributes: Optional[Mapping[str, object]] = None):
+        """Open a span under the current one; a context manager."""
+        if not self.enabled:
+            return _NULL_SPAN
+        parent_id = self.current_span_id()
+        span_id = self._next_id(parent_id, name)
+        handle = SpanHandle(
+            self, span_id, parent_id, name, _clean_attributes(attributes)
+        )
+        self._stack.append(span_id)
+        return handle
+
+    def event(self, name: str, attributes: Optional[Mapping[str, object]] = None) -> None:
+        """Record a point event on the current span (no-op when disabled)."""
+        if not self.enabled:
+            return
+        owner = self.current_span_id()
+        event_id = self._next_id(owner, f"event:{name}")
+        self._records.append(
+            TraceRecord(
+                kind=EVENT,
+                trace_id=self.trace_id,
+                span_id=event_id,
+                parent_id=owner,
+                name=name,
+                scenario=self.scenario,
+                start_time=utc_now_iso(),
+                attributes=_clean_attributes(attributes),
+            )
+        )
+
+    def perf_spans(self, delta: Mapping[str, Mapping], strip_prefix: str = "") -> None:
+        """Stream one item's :mod:`repro.perf` delta as aggregate spans.
+
+        ``delta`` is a ``PerfRegistry.snapshot()``-shaped dict holding
+        only the item's contribution.  Every span path becomes one
+        aggregate span (attributes ``calls``/``seconds``, duration =
+        total seconds) parented under its nearest recorded prefix, or
+        the current span when none; counters become ``counter:<name>``
+        events on the current span.
+        """
+        if not self.enabled:
+            return
+        owner = self.current_span_id()
+        spans: Mapping[str, Mapping] = delta.get("spans", {})  # type: ignore[assignment]
+        ids: Dict[str, str] = {}
+        for path in sorted(spans):
+            stat = spans[path]
+            rel = path[len(strip_prefix):] if strip_prefix and path.startswith(strip_prefix) else path
+            parent_rel = rel
+            parent_id = owner
+            while "." in parent_rel:
+                parent_rel = parent_rel.rsplit(".", 1)[0]
+                if parent_rel in ids:
+                    parent_id = ids[parent_rel]
+                    break
+            span_id = self._next_id(parent_id, rel)
+            ids[rel] = span_id
+            seconds = float(stat["seconds"])
+            self._records.append(
+                TraceRecord(
+                    kind=SPAN,
+                    trace_id=self.trace_id,
+                    span_id=span_id,
+                    parent_id=parent_id,
+                    name=rel,
+                    scenario=self.scenario,
+                    start_time=utc_now_iso(),
+                    duration_ms=round(seconds * 1000.0, 3),
+                    attributes={
+                        "source": "perf",
+                        "calls": int(stat["calls"]),
+                        "seconds": seconds,
+                    },
+                )
+            )
+        counters: Mapping[str, int] = delta.get("counters", {})  # type: ignore[assignment]
+        for counter in sorted(counters):
+            self.event(
+                f"counter:{counter}",
+                {"source": "perf", "value": int(counters[counter])},
+            )
+
+    # ------------------------------------------------------------------
+    # tape transfer (sink flushes and pool-worker merges)
+    # ------------------------------------------------------------------
+    def drain(self) -> List[TraceRecord]:
+        """Hand over (and clear) the buffered records; keeps the stack."""
+        records = self._records
+        self._records = []
+        return records
+
+    def absorb(self, records: Iterable[TraceRecord]) -> None:
+        """Append records drained from a pool worker, in arrival order."""
+        self._records.extend(records)
+
+
+#: The process-wide recorder every instrumented module shares.
+recorder = TraceRecorder()
+
+
+def trace_event(name: str, **attributes: object) -> None:
+    """Record an event on the current span -- the executors' one-liner.
+
+    Free when tracing is off (a single attribute check); the executors
+    call this for per-switch evidence (``apply``, ``late``, ``retry``)
+    without ever touching a sink.
+    """
+    if not recorder.enabled:
+        return
+    recorder.event(name, attributes)
+
+
+def perf_delta(before: Mapping[str, Mapping], after: Mapping[str, Mapping]) -> Dict[str, Dict]:
+    """The spans/counters ``after`` adds over ``before`` (snapshot shape)."""
+    spans: Dict[str, Dict[str, float]] = {}
+    before_spans: Mapping[str, Mapping] = before.get("spans", {})  # type: ignore[assignment]
+    for path, stat in after.get("spans", {}).items():  # type: ignore[union-attr]
+        prior = before_spans.get(path, {"calls": 0, "seconds": 0.0})
+        calls = int(stat["calls"]) - int(prior["calls"])
+        seconds = float(stat["seconds"]) - float(prior["seconds"])
+        if calls > 0 or seconds > 1e-9:
+            spans[path] = {"calls": calls, "seconds": round(max(seconds, 0.0), 6)}
+    counters: Dict[str, int] = {}
+    before_counters: Mapping[str, int] = before.get("counters", {})  # type: ignore[assignment]
+    for name, value in after.get("counters", {}).items():  # type: ignore[union-attr]
+        gained = int(value) - int(before_counters.get(name, 0))
+        if gained > 0:
+            counters[name] = gained
+    return {"spans": spans, "counters": counters}
+
+
+def worker_attributes() -> Dict[str, object]:
+    """The process-identity attributes stamped on item spans."""
+    return {"pid": os.getpid()}

@@ -1,0 +1,88 @@
+"""TraceSession: one run's binding of recorder, trace id and sink.
+
+The pipeline executor owns the session: ``begin`` configures the
+process-global recorder (and turns the perf registry on, since perf
+spans are one of the trace's three unified views), ``flush`` drains the
+tape into the sink after every checkpointed batch, and ``finish``
+closes the root span, flushes the remainder and restores prior state.
+
+The trace id is :func:`~repro.trace.record.derive_trace_id` of the
+``(scenario, run_id)`` pair, so resuming an interrupted run appends to
+the same trace and a pool run is id-identical to a serial one.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping, Optional
+
+from repro.perf import perf
+from repro.trace.record import derive_trace_id
+from repro.trace.recorder import recorder
+from repro.trace.sinks import TraceSink
+
+
+class TraceSession:
+    """Lifecycle manager for one traced run."""
+
+    def __init__(
+        self,
+        sink: TraceSink,
+        scenario: str,
+        run_id: str,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        self.sink = sink
+        self.scenario = scenario
+        self.run_id = run_id
+        self.trace_id = trace_id or derive_trace_id(scenario, run_id)
+        self._root = None
+        self._perf_was_enabled = False
+        self._active = False
+
+    @property
+    def sink_path(self) -> Optional[str]:
+        path = getattr(self.sink, "path", None)
+        return str(path) if path is not None else None
+
+    def begin(self, params: Optional[Mapping[str, object]] = None) -> None:
+        """Configure the recorder and open the run root span."""
+        self._perf_was_enabled = perf.enabled
+        perf.enable()
+        recorder.configure(self.trace_id, self.scenario)
+        attributes = {
+            "run_id": self.run_id,
+            "scenario": self.scenario,
+            "pid": os.getpid(),
+        }
+        if params:
+            attributes["params"] = {
+                key: value
+                for key, value in sorted(params.items())
+                if isinstance(value, (int, float, str, bool))
+            }
+        self._root = recorder.span("run", attributes)
+        self._root.__enter__()
+        self._active = True
+
+    def flush(self) -> None:
+        """Drain buffered records (own and absorbed) into the sink."""
+        if not self._active:
+            return
+        for record in recorder.drain():
+            self.sink.emit(record)
+
+    def finish(self, status: str = "ok") -> None:
+        """Close the root span, flush everything, release the recorder."""
+        if not self._active:
+            return
+        self._active = False
+        if self._root is not None:
+            self._root.close(status)
+            self._root = None
+        for record in recorder.drain():
+            self.sink.emit(record)
+        recorder.deactivate()
+        if not self._perf_was_enabled:
+            perf.disable()
+        self.sink.close()

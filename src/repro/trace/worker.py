@@ -1,0 +1,62 @@
+"""Pool-worker state collection: the plumbing that survives a fork.
+
+Before this module, a ``fork`` pool worker accumulated perf spans and
+trace records in its *own* process-global registries and threw them away
+on exit -- with ``REPRO_PERF=1`` the parent's report showed only the
+in-process first-item probe.  These hooks close the loop:
+
+* :func:`worker_prepare` runs in the worker at the start of every chunk
+  and drains whatever the fork inherited from the parent (the parent
+  still owns those records), keeping the inherited span *stacks* so
+  worker spans nest under ``pipeline.<scenario>`` / the run root span
+  exactly as serial spans do;
+* :func:`worker_collect` runs after the chunk and returns the worker's
+  own contribution as plain JSON-ready data (picklable, version-stable);
+* :func:`merge_payload` runs in the parent, in chunk submission order,
+  adding worker perf totals into the parent registry and appending
+  worker trace records to the parent tape (which the session then
+  flushes to the sink).
+
+:func:`collection_hooks` is the :class:`~repro.runtime.ParallelRunner`'s
+entry point: it returns the triple only when there is state to collect,
+so untraced, unprofiled runs pay nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.perf import perf
+from repro.trace.record import TraceRecord
+from repro.trace.recorder import recorder
+
+Payload = Dict[str, object]
+Hooks = Tuple[Callable[[], None], Callable[[], Payload], Callable[[Payload], None]]
+
+
+def worker_prepare() -> None:
+    """Discard fork-inherited perf/trace data (the parent still has it)."""
+    perf.drain()
+    recorder.drain()
+
+
+def worker_collect() -> Payload:
+    """The worker's own contribution since :func:`worker_prepare`."""
+    return {
+        "perf": perf.drain(),
+        "trace": [record.to_json() for record in recorder.drain()],
+    }
+
+
+def merge_payload(payload: Payload) -> None:
+    """Fold one worker chunk's contribution into the parent process."""
+    perf.merge(payload.get("perf") or {})
+    trace = payload.get("trace") or []
+    recorder.absorb(TraceRecord.from_json(data) for data in trace)
+
+
+def collection_hooks() -> Optional[Hooks]:
+    """The (prepare, collect, merge) triple, or ``None`` when idle."""
+    if not (perf.enabled or recorder.enabled):
+        return None
+    return worker_prepare, worker_collect, merge_payload
