@@ -123,25 +123,33 @@ def bench_opt(
     switch_count: int = 30,
     seeds: Sequence[int] = tuple(range(8)),
     budget: float = 2.0,
+    engine: str = "array",
 ) -> Dict[str, object]:
-    """Budgeted OPT search over a fixed seed batch at one size."""
+    """Budgeted OPT search over a fixed seed batch at one size.
+
+    ``engine`` selects the search engine; the record carries it so the
+    regression gate only compares like with like (the engines count
+    explored nodes at different granularities -- see DESIGN.md §13).
+    """
     explored = 0
     elapsed = 0.0
     proven = 0
     for seed in seeds:
         instance = mixed_instance(switch_count, seed * 7919 + switch_count)
-        result = optimal_schedule(instance, time_budget=budget)
+        result = optimal_schedule(instance, time_budget=budget, engine=engine)
         explored += result.explored
         elapsed += result.elapsed
         proven += 1 if result.proven else 0
     throughput = explored / elapsed if elapsed else 0.0
     print(
-        f"[bench] opt n={switch_count}: {elapsed:.3f}s, {explored} nodes, "
-        f"{throughput:.0f} nodes/s, {proven}/{len(seeds)} proven"
+        f"[bench] opt n={switch_count} ({engine}): {elapsed:.3f}s, "
+        f"{explored} nodes, {throughput:.0f} nodes/s, "
+        f"{proven}/{len(seeds)} proven"
     )
     return {
         "switches": switch_count,
         "instances": len(seeds),
+        "engine": engine,
         "elapsed": round(elapsed, 4),
         "explored": explored,
         "nodes_per_sec": round(throughput, 1),
@@ -223,21 +231,35 @@ def bench_sweep(
         run_sweep, [switch_count], max_workers=workers, **kwargs
     )
     identical = serial == parallel
-    speedup = serial_s / parallel_s if parallel_s else 0.0
-    print(
-        f"[bench] sweep {instances}x{switch_count}sw: serial={serial_s:.3f}s "
-        f"parallel({workers}w)={parallel_s:.3f}s speedup={speedup:.2f}x "
-        f"identical={identical}"
-    )
-    return {
+    cpus = available_cpus()
+    record: Dict[str, object] = {
         "switches": switch_count,
         "instances": instances,
         "workers": workers,
         "serial_seconds": round(serial_s, 4),
         "parallel_seconds": round(parallel_s, 4),
-        "speedup": round(speedup, 2),
         "identical_records": identical,
     }
+    if cpus < 2:
+        # On a single-CPU host the workers time-slice one core, so the
+        # serial/parallel ratio measures scheduler overhead, not speedup.
+        # The identity check above is the part that still means something.
+        record["speedup"] = None
+        record["speedup_note"] = f"single CPU ({cpus}); ratio not meaningful"
+        print(
+            f"[bench] sweep {instances}x{switch_count}sw: serial={serial_s:.3f}s "
+            f"parallel({workers}w)={parallel_s:.3f}s speedup=n/a (1 cpu) "
+            f"identical={identical}"
+        )
+    else:
+        speedup = serial_s / parallel_s if parallel_s else 0.0
+        record["speedup"] = round(speedup, 2)
+        print(
+            f"[bench] sweep {instances}x{switch_count}sw: serial={serial_s:.3f}s "
+            f"parallel({workers}w)={parallel_s:.3f}s speedup={speedup:.2f}x "
+            f"identical={identical}"
+        )
+    return record
 
 
 def collect(quick: bool = False, workers: int = 4) -> Dict[str, object]:

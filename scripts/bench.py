@@ -23,7 +23,11 @@ Exit status is non-zero when a measured invariant fails:
   same machine class at *any* measured size -- 400 up to 100000
   switches (same ``cpus`` count; runs on other machine classes are not
   comparable and skip the gate; sizes without a comparable prior are
-  skipped individually).
+  skipped individually), or
+* OPT node throughput drops under 1/1.3x the best prior full-size
+  record from the same machine class measuring the *same engine* on the
+  same workload (engines count nodes at different granularities, so a
+  new engine's first record starts its own baseline).
 
 Full records also carry a ``memory`` column: peak RSS per greedy bench
 stage, measured in a forked child per size (see
@@ -48,6 +52,7 @@ from repro.validate.gate import run_gate  # noqa: E402
 
 SLOWDOWN_LIMIT = 1.2
 GREEDY_GATE_LIMIT = 1.3
+OPT_GATE_LIMIT = 1.3
 
 
 def greedy_regression(record, history):
@@ -94,6 +99,58 @@ def greedy_regression(record, history):
                 f"(machine class cpus={record.get('cpus')})"
             )
     return "; ".join(failures) if failures else None
+
+
+def opt_regression(record, history):
+    """Failure message when OPT node throughput regressed, else None.
+
+    Gates ``opt.nodes_per_sec`` against the best prior full-size record
+    from the same machine class (equal ``cpus``) measuring the *same
+    engine* on the *same workload* (equal ``switches`` and
+    ``instances``).  The engines count explored nodes at different
+    granularities (DESIGN.md §13), so cross-engine throughput is not
+    comparable and a new engine's first record never fails its own gate.
+    Prior records without an ``engine`` field predate the engine split
+    and measured the reference engine.
+    """
+    if "profile" in record or record.get("quick"):
+        return None
+    opt = record.get("opt")
+    if not isinstance(opt, dict):
+        return None
+    current = opt.get("nodes_per_sec")
+    if not isinstance(current, (int, float)):
+        return None
+    engine = opt.get("engine", "reference")
+    prior = []
+    for entry in history:
+        if not isinstance(entry, dict) or entry.get("quick") or "profile" in entry:
+            continue
+        if entry.get("cpus") != record.get("cpus"):
+            continue
+        other = entry.get("opt")
+        if not isinstance(other, dict):
+            continue
+        if other.get("engine", "reference") != engine:
+            continue
+        if (
+            other.get("switches") != opt.get("switches")
+            or other.get("instances") != opt.get("instances")
+        ):
+            continue
+        best = other.get("nodes_per_sec")
+        if isinstance(best, (int, float)):
+            prior.append(best)
+    if not prior:
+        return None
+    best = max(prior)
+    if best > 0 and current * OPT_GATE_LIMIT < best:
+        return (
+            f"opt[{engine}] throughput {current:.1f} nodes/s is under "
+            f"1/{OPT_GATE_LIMIT}x the best prior record {best:.1f} nodes/s "
+            f"(machine class cpus={record.get('cpus')})"
+        )
+    return None
 
 
 def main(argv=None) -> int:
@@ -159,6 +216,9 @@ def main(argv=None) -> int:
     regression = greedy_regression(record, history)
     if regression:
         failures.append(regression)
+    opt_failure = opt_regression(record, history)
+    if opt_failure:
+        failures.append(opt_failure)
     for failure in failures:
         print(f"BENCH GATE FAILURE: {failure}", file=sys.stderr)
     return 1 if failures else 0

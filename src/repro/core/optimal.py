@@ -4,14 +4,27 @@ The paper obtains OPT by solving the MUTP integer program with branch and
 bound.  This module provides the practical exact solver: a depth-first
 branch-and-bound over *timed update decisions* -- at every time step, branch
 over the subsets of currently-safe switches to update (plus waiting) -- with
-the interval tracker (:mod:`repro.core.intervals`) as the exact transient
-state.  The search prunes on the incumbent makespan and on the drain
-fix-point (waiting past the last finite flow class cannot unblock anything),
-and honours a wall-clock budget so the Fig. 10 cutoff behaviour can be
-reproduced.  :func:`exhaustive_schedule` is the brutally simple oracle used
-by the test suite on tiny instances.
+an interval tracker as the exact transient state.  The search prunes on the
+incumbent makespan and on the drain fix-point (waiting past the last finite
+flow class cannot unblock anything), and honours a wall-clock budget so the
+Fig. 10 cutoff behaviour can be reproduced.
 
-The ILP formulation itself lives in :mod:`repro.core.mutp`.
+Two engines share this entry point (DESIGN.md §13):
+
+* ``engine="array"`` (default) -- the shared array-backed search core in
+  :mod:`repro.core.search`: COW clones on the
+  :class:`~repro.core.intervals_array.ArrayIntervalTracker`, probe-chain
+  subset expansion, a targeted pairwise-rescue candidate pass, a
+  transposition/dominance memo and a drain-horizon bound.  Falls back to
+  the dict tracker (same search) when numpy is unavailable.
+* ``engine="reference"`` -- the original dict-tracker search, kept
+  verbatim as the differential oracle
+  (``tests/test_search_engines.py`` pins feasibility / makespan /
+  proven between the two on hundreds of seeded instances).
+
+:func:`exhaustive_schedule` is the brutally simple oracle used by the test
+suite on tiny instances.  The ILP formulation itself lives in
+:mod:`repro.core.mutp`.
 """
 
 from __future__ import annotations
@@ -28,6 +41,9 @@ from repro.core.schedule import UpdateSchedule
 from repro.core.trace import trace_schedule
 from repro.network.graph import Node
 from repro.perf import perf
+from repro.trace import recorder
+
+OPT_ENGINES = ("array", "reference")
 
 
 @dataclass
@@ -36,16 +52,23 @@ class OptimalResult:
 
     Attributes:
         schedule: Best congestion- and loop-free schedule found, or ``None``.
-        proven: Whether the search ran to completion (so the result is the
-            true optimum / a true infeasibility proof).
+        proven: Whether the search ran to completion without truncation
+            (so the result is the true optimum / a true infeasibility
+            proof).
         explored: Number of search nodes visited.
         elapsed: Wall-clock seconds spent.
+        width_cut: Whether a candidate set was truncated to
+            ``max_branch_width`` somewhere in the search.  A truncated
+            branch may hide a better schedule *or* the only feasible
+            one, so ``width_cut`` forfeits both the optimality and the
+            infeasibility claim (``proven`` is forced ``False``).
     """
 
     schedule: Optional[UpdateSchedule]
     proven: bool
     explored: int
     elapsed: float
+    width_cut: bool = False
 
     @property
     def feasible(self) -> Optional[bool]:
@@ -66,6 +89,7 @@ def optimal_schedule(
     max_branch_width: int = 12,
     max_horizon: Optional[int] = None,
     node_budget: Optional[int] = None,
+    engine: str = "array",
 ) -> OptimalResult:
     """Find a minimum-makespan congestion- and loop-free schedule.
 
@@ -77,6 +101,8 @@ def optimal_schedule(
             ``proven=False``.
         max_branch_width: Cap on the candidate set considered per time step
             (subsets are enumerated, so this bounds the branching factor).
+            Truncation is reported via ``width_cut`` and forfeits
+            ``proven``.
         max_horizon: Latest step (relative to ``t0``) any update may take;
             defaults to a generous function of the instance size.
         node_budget: Cap on explored search nodes (``None`` = unlimited).
@@ -85,10 +111,15 @@ def optimal_schedule(
             load, which is what parallel sweeps need for byte-identical
             records.  Exhaustion returns the incumbent with
             ``proven=False``, exactly like a timeout.
+        engine: ``"array"`` (default) for the shared array-backed core,
+            ``"reference"`` for the original dict-tracker search kept as
+            the differential oracle.
 
     Returns:
         An :class:`OptimalResult`.
     """
+    if engine not in OPT_ENGINES:
+        raise ValueError(f"unknown OPT engine {engine!r} (expected one of {OPT_ENGINES})")
     pending_all: Tuple[Node, ...] = tuple(instance.switches_to_update)
     if not pending_all:
         empty = UpdateSchedule(times={}, start_time=t0)
@@ -102,18 +133,94 @@ def optimal_schedule(
         )
 
     started = time.monotonic()
-    explored = 0
-    timed_out = False
-    horizon_cut = False
 
     # Seed the incumbent with the greedy schedule when it is feasible.
-    best_times: Optional[Dict[Node, int]] = None
-    best_makespan = max_horizon + 2
+    seed_times: Optional[Dict[Node, int]] = None
+    seed_makespan: Optional[int] = None
     with perf.span("opt.seed"):
         seed = greedy_schedule(instance, t0=t0)
     if seed.feasible:
-        best_times = seed.schedule.as_dict()
-        best_makespan = seed.schedule.makespan
+        seed_times = seed.schedule.as_dict()
+        seed_makespan = seed.schedule.makespan
+
+    handle = recorder.span("opt.search", {"engine": engine, "switches": len(pending_all)})
+    try:
+        if engine == "array":
+            from repro.core.search import run_optimal_search
+
+            best_times, explored, timed_out, horizon_cut, width_cut = run_optimal_search(
+                instance,
+                t0,
+                time_budget,
+                max_branch_width,
+                max_horizon,
+                node_budget,
+                seed_times,
+                seed_makespan,
+            )
+        else:
+            best_times, explored, timed_out, horizon_cut, width_cut = _reference_search(
+                instance,
+                t0,
+                started,
+                time_budget,
+                max_branch_width,
+                max_horizon,
+                node_budget,
+                seed_times,
+                seed_makespan,
+            )
+        elapsed = time.monotonic() - started
+        schedule = None
+        if best_times is not None:
+            schedule = UpdateSchedule(times=best_times, start_time=t0, feasible=True)
+        # An optimality claim survives a horizon cut (no schedule can beat
+        # the incumbent by updating even later), but an infeasibility claim
+        # does not -- and a width cut forfeits both.
+        proven = (
+            not timed_out
+            and not width_cut
+            and (schedule is not None or not horizon_cut)
+        )
+        if handle.span_id is not None:
+            handle.attributes.update(
+                {
+                    "explored": explored,
+                    "proven": proven,
+                    "width_cut": width_cut,
+                    "feasible": schedule is not None,
+                }
+            )
+    finally:
+        handle.close()
+    return OptimalResult(
+        schedule=schedule,
+        proven=proven,
+        explored=explored,
+        elapsed=elapsed,
+        width_cut=width_cut,
+    )
+
+
+def _reference_search(
+    instance: UpdateInstance,
+    t0: int,
+    started: float,
+    time_budget: Optional[float],
+    max_branch_width: int,
+    max_horizon: int,
+    node_budget: Optional[int],
+    seed_times: Optional[Dict[Node, int]],
+    seed_makespan: Optional[int],
+):
+    """The original dict-tracker branch and bound (differential oracle)."""
+    explored = 0
+    timed_out = False
+    horizon_cut = False
+    width_cut = False
+
+    best_times = dict(seed_times) if seed_times is not None else None
+    best_makespan = seed_makespan if seed_makespan is not None else max_horizon + 2
 
     root = IntervalTracker(instance, t0=t0)
 
@@ -124,7 +231,7 @@ def optimal_schedule(
         return timed_out
 
     def dfs(tracker: IntervalTracker, pending: Tuple[Node, ...], t: int, last_update: Optional[int]) -> None:
-        nonlocal explored, best_times, best_makespan, timed_out, horizon_cut
+        nonlocal explored, best_times, best_makespan, timed_out, horizon_cut, width_cut
         if timed_out:
             return
         if time_budget is not None and time.monotonic() - started > time_budget:
@@ -148,9 +255,10 @@ def optimal_schedule(
             horizon_cut = True
             return
 
-        candidates = _candidate_set(
+        candidates, cut = _candidate_set(
             tracker, pending, t, max_branch_width, out_of_time
         )
+        width_cut = width_cut or cut
         if timed_out:
             return
 
@@ -185,20 +293,8 @@ def optimal_schedule(
                 dfs(tracker, pending, t + 1, last_update)
 
     with perf.span("opt.search"):
-        dfs(root, pending_all, t0, None)
-    elapsed = time.monotonic() - started
-    schedule = None
-    if best_times is not None:
-        schedule = UpdateSchedule(times=best_times, start_time=t0, feasible=True)
-    # An optimality claim survives a horizon cut (no schedule can beat the
-    # incumbent by updating even later), but an infeasibility claim does not.
-    proven = not timed_out and (schedule is not None or not horizon_cut)
-    return OptimalResult(
-        schedule=schedule,
-        proven=proven,
-        explored=explored,
-        elapsed=elapsed,
-    )
+        dfs(root, tuple(instance.switches_to_update), t0, None)
+    return best_times, explored, timed_out, horizon_cut, width_cut
 
 
 def _candidate_set(
@@ -207,8 +303,8 @@ def _candidate_set(
     t: int,
     max_branch_width: int,
     out_of_time=None,
-) -> List[Node]:
-    """Switches worth branching on at step ``t``.
+) -> Tuple[List[Node], bool]:
+    """Switches worth branching on at step ``t`` (plus a truncation flag).
 
     Round safety is not monotone: a switch that is unsafe alone can be safe
     when updated *together* with another switch whose update drains the
@@ -217,12 +313,12 @@ def _candidate_set(
     any unsafe switch that some pending partner rescues.
     """
     if len(pending) <= max_branch_width:
-        return list(pending)
+        return list(pending), False
     safe: List[Node] = []
     unsafe: List[Node] = []
     for index, node in enumerate(pending):
         if out_of_time is not None and index % 32 == 0 and out_of_time():
-            return safe
+            return safe, False
         (safe if tracker.preview_round([node], t).ok else unsafe).append(node)
     rescued: List[Node] = []
     for node in unsafe:
@@ -236,8 +332,8 @@ def _candidate_set(
                 break
     candidates = safe + rescued
     if len(candidates) > max_branch_width:
-        candidates = candidates[:max_branch_width]
-    return candidates
+        return candidates[:max_branch_width], True
+    return candidates, False
 
 
 def exhaustive_schedule(

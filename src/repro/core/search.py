@@ -1,0 +1,965 @@
+"""Shared array-backed branch-and-bound core for the OPT and OR searches.
+
+:func:`repro.core.optimal.optimal_schedule` and
+:func:`repro.updates.order_replacement.minimize_rounds` used to run their
+searches directly on the dict :class:`~repro.core.intervals.IntervalTracker`
+(OPT) and on per-subset dict union-graph rebuilds (OR).  Profiling the
+BENCH opt workload showed the per-node cost, not the node count, was the
+bottleneck: one hard 30-switch instance spent its whole 2s budget on 14
+search nodes, almost all of it in ``preview_round`` subset probes and the
+O(n^2) pairwise-rescue candidate scan.
+
+This module hosts the ``engine="array"`` replacements.  Both engines keep
+the *reference* engines' value semantics (same candidate sets, same
+branch order up to subset enumeration order, same bounds) so the
+differential pins in ``tests/test_search_engines.py`` can compare
+feasibility / makespan / proven exactly; only the mechanics differ:
+
+* **Search state on the array tracker.**  OPT nodes hold an
+  :class:`~repro.core.intervals_array.ArrayIntervalTracker` (COW clones
+  are O(classes); congestion decisions are batched bincount passes).
+  Without numpy the same engine runs on the dict tracker unchanged --
+  every call it makes is part of the trackers' shared internal surface
+  (``_split`` / ``_check_new_congestion`` / ``_commit``).
+* **Probe chains instead of per-subset previews.**  The reference engine
+  previews every candidate subset from scratch (splitting ``|S|``
+  switches per probe).  Here subsets are enumerated as an
+  include/exclude DFS over the candidate list: each *include* edge
+  applies one switch to a scratch clone, so a subset costs one
+  single-switch split amortised instead of ``|S|``.  Transient
+  violations are carried as *debt* (a rescue partner later in the chain
+  may clear them); a leaf with debt runs one global cleanliness check,
+  which over a violation-free parent state is exactly the joint
+  ``preview_round(...).ok`` decision.  Debt that no remaining candidate
+  can repair (nobody left on the violating trajectories) prunes the
+  whole include subtree.
+* **Targeted pairwise rescue.**  A singleton-unsafe switch can only be
+  rescued by a partner that changes some contribution to its violation:
+  a pending switch on the trajectory of a class crossing a violated
+  link, on a split parent, or on a deflected piece.  The candidate pass
+  therefore probes only that partner superset instead of every pending
+  switch -- same rescued set, O(n) fewer pair previews.
+* **Transposition/dominance memo.**  Keyed by (applied set, live-class
+  signature); an entry ``(t', last')`` dominates a node at ``(t, last)``
+  when ``t' <= t`` and ``last' <= last``: the identical flow state was
+  already explored no later and with no worse a makespan floor, under an
+  incumbent no better than the current one, so nothing new can be found.
+  The signature (emission bounds + trajectory bytes of every non-empty
+  live class) makes the key exact -- equal keys mean equal search
+  states -- which keeps the memo value-sound rather than heuristic.
+* **Drain-horizon lower bound.**  Waiting is branched only while it can
+  still pay: never past the finite-drain fix point when nothing is
+  applicable, and never when the earliest remaining completion
+  (``t + 2 - t0``, every pending update at ``t + 1`` or later) already
+  meets the incumbent makespan.
+
+The OR engine shares the same shape with a much simpler state: an
+id-space union-graph cycle check (flat old/new next-hop tables, byte
+masks) replaces per-check dict graph builds, subsets of the greedy
+maximal safe set skip their per-subset safety recheck entirely (safe
+sets are downward closed, so the recheck is always true), and a sound
+``updated-set -> fewest rounds`` memo prunes revisits.  Node-budget
+determinism is preserved by both engines: explored-node accounting and
+branch order are pure functions of the instance.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.instance import UpdateInstance
+from repro.core.intervals import _EPS, DELIVERED, IntervalTracker
+from repro.core.intervals_array import NUMPY_AVAILABLE, ArrayIntervalTracker
+from repro.core.rounds import greedy_loop_free_rounds
+from repro.network.graph import Node
+from repro.perf import perf
+
+_NEG_LAST = -(1 << 60)
+
+
+# Below this many switches the dict tracker's per-operation cost beats the
+# array tracker's (numpy call overhead dominates batched wins on tiny
+# arrays; measured crossover is in the low hundreds on the bench host).
+# Exact-search instances are small by nature -- the searches are
+# exponential -- so the dict representation usually wins; the array state
+# takes over for the large instances the sweeps are growing toward.
+ARRAY_STATE_THRESHOLD = 200
+
+
+def make_search_tracker(instance: UpdateInstance, t0: int = 0):
+    """The fastest exact tracker for search state at this instance size."""
+    if NUMPY_AVAILABLE and len(instance.network) >= ARRAY_STATE_THRESHOLD:
+        return ArrayIntervalTracker(instance, t0=t0)
+    return IntervalTracker(instance, t0=t0)
+
+
+def _class_is_empty(cls) -> bool:
+    return cls.lo is not None and cls.hi is not None and cls.lo > cls.hi
+
+
+class _TrackerOps:
+    """The few representation-specific helpers the OPT engine needs.
+
+    Both trackers share the internal split/check/commit surface; only
+    "trajectory switch names" and "classes crossing a link" differ
+    mechanically between the dict and array layouts.
+    """
+
+    def __init__(self, tracker) -> None:
+        self.array = isinstance(tracker, ArrayIntervalTracker)
+
+    def class_nodes(self, tracker, cls) -> Sequence[Node]:
+        if self.array:
+            names = tracker.arrays.names
+            return [names[i] for i in cls.nodes.tolist()]
+        return cls.nodes
+
+    def classes_crossing(self, tracker, link) -> List:
+        """Alive committed classes whose trajectory crosses ``link``."""
+        if self.array:
+            lid = tracker.arrays.lid_of(*link)
+            if lid is None:
+                return []
+            out = []
+            for cid in sorted(tracker._alive):
+                cls = tracker._classes[cid]
+                if cls.lids.size and bool((cls.lids == lid).any()):
+                    out.append(cls)
+            return out
+        seen: Set[int] = set()
+        out = []
+        for cid in tracker._link_index.get(link, ()):
+            if cid in seen or cid not in tracker._alive:
+                continue
+            seen.add(cid)
+            out.append(tracker._classes[cid])
+        return out
+
+    def crosses(self, tracker, cls, link) -> bool:
+        """Whether ``cls``'s trajectory traverses ``link``."""
+        if self.array:
+            lid = tracker.arrays.lid_of(*link)
+            return (
+                lid is not None
+                and cls.lids.size > 0
+                and bool((cls.lids == lid).any())
+            )
+        src, dst = link
+        nodes = cls.nodes
+        for i in range(len(nodes) - 1):
+            if nodes[i] == src and nodes[i + 1] == dst:
+                return True
+        return False
+
+    def signature(self, tracker) -> Tuple:
+        """Exact value identity of the live flow state.
+
+        Two trackers over the same instance with equal signatures and
+        equal applied sets route and congest identically forever: the
+        signature captures every non-empty class's emission bounds and
+        full trajectory, and the routing table is a function of the
+        applied set.  Empty classes are skipped -- they contribute no
+        load, no loops and no drain horizon... almost: the drain horizon
+        scans them too, so they are kept distinct via the horizon field.
+        """
+        parts = []
+        for cid in sorted(tracker._alive):
+            cls = tracker._classes[cid]
+            if _class_is_empty(cls):
+                continue
+            traj = cls.nodes if not self.array else cls.nodes.tobytes()
+            parts.append(
+                (
+                    cls.lo is not None,
+                    cls.lo if cls.lo is not None else 0,
+                    cls.hi is not None,
+                    cls.hi if cls.hi is not None else 0,
+                    traj,
+                )
+            )
+        parts.sort()
+        return (tuple(parts), tracker.finite_drain_horizon())
+
+
+class _ChainCache:
+    """Per-tracker-state facts reused along a waiting chain.
+
+    A waiting branch recurses on the *same* tracker with ``t + 1``; along
+    that chain the flow state (trajectories, emission windows, routing
+    table) is frozen, so facts that depend only on routes survive from
+    step to step:
+
+    * ``relieved`` -- for each pending switch ``p``, the links on the
+      old-route continuations strictly *beyond* ``p`` of the committed
+      classes crossing it: the only committed load ``p``'s application
+      can ever remove.  Used to refute rescue pairs without probing.
+    * ``perm_partners`` -- a switch whose singleton application deflects
+      an *infinite* class into a loop or black hole fails at every later
+      step too (the same non-empty piece exists with the same
+      trajectory); its rescue-partner superset is frozen at first
+      failure and the per-step singleton probe is skipped.
+    * ``pair_dead`` / ``perm_dead`` -- pair probes whose failure is
+      permanent (infinite looping/black-holed piece, or steady-state
+      congestion by infinite emission windows alone) are dead for the
+      rest of the chain; a ``perm_partners`` switch with no live
+      partners left costs nothing from then on.
+    * ``retry_sing`` / ``retry_pair`` -- a probe that failed on a
+      *finite* looping/black-holed piece provably keeps failing until
+      that piece drains (``t > parent.hi + offset``, the exact moment
+      the deflection threshold passes the parent's last emission); the
+      probe is skipped until then.  A loop also pins the rescuer set to
+      the piece/parent nodes -- fixing the loop requires re-routing the
+      deflected unit, so a rescuer must sit on its trajectory -- which
+      keeps the partner superset frozen at first failure valid for the
+      whole retry window.
+    """
+
+    __slots__ = (
+        "relieved",
+        "perm_partners",
+        "pair_dead",
+        "perm_dead",
+        "retry_sing",
+        "retry_pair",
+    )
+
+    def __init__(self) -> None:
+        self.relieved: Optional[Dict[Node, Set]] = None
+        self.perm_partners: Dict[Node, List[Node]] = {}
+        self.pair_dead: Set[Tuple[Node, Node]] = set()
+        self.perm_dead: Set[Node] = set()
+        # node -> (first step worth re-probing, frozen partner superset)
+        self.retry_sing: Dict[Node, Tuple[int, List[Node]]] = {}
+        # (node, partner) -> first step worth re-probing
+        self.retry_pair: Dict[Tuple[Node, Node], int] = {}
+
+
+class OptimalSearch:
+    """The ``engine="array"`` OPT branch and bound (see module docstring).
+
+    Drives the same DFS as the reference engine -- branch over candidate
+    subsets at each step plus a waiting branch -- with probe-chain subset
+    expansion, the targeted candidate pass, the dominance memo and the
+    drain-horizon bound.  Results are value-equal to the reference on
+    every completed search; explored-node counts differ (this engine
+    visits the same states much faster and prunes more).
+    """
+
+    def __init__(
+        self,
+        instance: UpdateInstance,
+        t0: int,
+        time_budget: Optional[float],
+        max_branch_width: int,
+        max_horizon: int,
+        node_budget: Optional[int],
+    ) -> None:
+        self.instance = instance
+        self.t0 = t0
+        self.time_budget = time_budget
+        self.max_branch_width = max_branch_width
+        self.max_horizon = max_horizon
+        self.node_budget = node_budget
+        self.started = time.monotonic()
+        self.explored = 0
+        self.timed_out = False
+        self.horizon_cut = False
+        self.width_cut = False
+        self.best_times: Optional[Dict[Node, int]] = None
+        self.best_makespan = max_horizon + 2
+        self._demand = instance.demand
+        self._leaf_ticks = 0
+        # (applied set, state signature) -> Pareto-minimal (t, last) entries.
+        self._memo: Dict[Tuple[FrozenSet[Node], Tuple], List[Tuple[int, int]]] = {}
+
+    # -- budgets -------------------------------------------------------
+    def _out_of_time(self) -> bool:
+        if self.timed_out:
+            return True
+        if (
+            self.time_budget is not None
+            and time.monotonic() - self.started > self.time_budget
+        ):
+            self.timed_out = True
+        return self.timed_out
+
+    def _tick(self) -> bool:
+        """Periodic wall-clock check inside subset expansion."""
+        self._leaf_ticks += 1
+        if self._leaf_ticks % 64 == 0 and self.time_budget is not None:
+            return self._out_of_time()
+        return self.timed_out
+
+    # -- entry point ---------------------------------------------------
+    def run(self, seed_times: Optional[Dict[Node, int]], seed_makespan: Optional[int]):
+        if seed_times is not None and seed_makespan is not None:
+            self.best_times = dict(seed_times)
+            self.best_makespan = seed_makespan
+        root = make_search_tracker(self.instance, t0=self.t0)
+        self._ops = _TrackerOps(root)
+        pending = tuple(self.instance.switches_to_update)
+        self._dfs(root, pending, self.t0, None)
+        return self.best_times, self.best_makespan
+
+    # -- the DFS -------------------------------------------------------
+    def _dfs(
+        self,
+        tracker,
+        pending: Tuple[Node, ...],
+        t: int,
+        last_update: Optional[int],
+        chain: Optional[_ChainCache] = None,
+    ) -> None:
+        if chain is None:
+            chain = _ChainCache()
+        if self.timed_out or self._out_of_time():
+            return
+        if self.node_budget is not None and self.explored >= self.node_budget:
+            self.timed_out = True
+            return
+        self.explored += 1
+        t0 = self.t0
+        if not pending:
+            makespan = 0 if last_update is None else last_update - t0 + 1
+            if makespan < self.best_makespan:
+                self.best_makespan = makespan
+                self.best_times = dict(tracker.applied)
+            return
+        if t - t0 + 1 >= self.best_makespan:
+            return
+        if t - t0 > self.max_horizon:
+            self.horizon_cut = True
+            return
+
+        last_key = _NEG_LAST if last_update is None else last_update
+        memo_key = (frozenset(pending), self._ops.signature(tracker))
+        entries = self._memo.get(memo_key)
+        if entries is not None and any(
+            te <= t and le <= last_key for te, le in entries
+        ):
+            return
+
+        candidates = self._candidates(tracker, pending, t, chain)
+        if self.timed_out:
+            return
+
+        applied_any = False
+        if candidates:
+            # When even an immediate next-step completion cannot beat the
+            # incumbent (t + 2 - t0 >= best), only a round covering *all*
+            # pending switches is worth expanding.
+            if t + 2 - t0 >= self.best_makespan:
+                if len(candidates) == len(pending):
+                    applied_any = self._expand_full(tracker, pending, t)
+            else:
+                applied_any = self._expand_subsets(tracker, pending, candidates, t)
+        if not self.timed_out:
+            # Waiting branch, bounded: completions through it update at
+            # t + 1 or later (makespan >= t + 2 - t0), and when nothing is
+            # applicable waiting only helps while finite classes drain.
+            if t + 2 - t0 < self.best_makespan:
+                if applied_any:
+                    self._dfs(tracker, pending, t + 1, last_update, chain)
+                else:
+                    horizon = tracker.finite_drain_horizon()
+                    if horizon is not None and t <= horizon:
+                        self._dfs(tracker, pending, t + 1, last_update, chain)
+        if not self.timed_out:
+            self._memo_record(memo_key, t, last_key)
+
+    def _memo_record(self, memo_key, t: int, last_key: int) -> None:
+        entries = self._memo.get(memo_key)
+        if entries is None:
+            self._memo[memo_key] = [(t, last_key)]
+            return
+        kept = [(te, le) for te, le in entries if not (t <= te and last_key <= le)]
+        kept.append((t, last_key))
+        self._memo[memo_key] = kept
+
+    # -- candidate pass ------------------------------------------------
+    def _candidates(
+        self, tracker, pending: Tuple[Node, ...], t: int, chain: _ChainCache
+    ) -> List[Node]:
+        """The reference `_candidate_set`, with targeted rescue probes.
+
+        Produces the same candidate list in the same order (safe switches
+        in pending order, then rescued switches in pending order) so both
+        engines agree on the branched subset family.  The pair scan only
+        probes partners that could possibly rescue (see
+        :meth:`_partner_superset`); everything refuted without a probe is
+        refuted by a route/load argument, not a heuristic, so the
+        resulting candidate set is *identical* to the reference scan's.
+        """
+        if len(pending) <= self.max_branch_width:
+            return list(pending)
+        if chain.relieved is None:
+            chain.relieved = self._relieved_links(tracker, pending)
+        pending_set = set(pending)
+        safe: List[Node] = []
+        unsafe: List[Tuple[Node, List[Node]]] = []
+        for index, node in enumerate(pending):
+            if index % 32 == 0 and self._out_of_time():
+                return safe
+            if node in chain.perm_dead:
+                continue
+            cached = chain.perm_partners.get(node)
+            if cached is None:
+                held = chain.retry_sing.get(node)
+                if held is not None:
+                    retry_t, frozen = held
+                    if t < retry_t:
+                        cached = frozen
+                    else:
+                        del chain.retry_sing[node]
+            if cached is not None:
+                partners = [
+                    p
+                    for p in cached
+                    if p in pending_set and (node, p) not in chain.pair_dead
+                ]
+                if not partners and node in chain.perm_partners:
+                    chain.perm_dead.add(node)
+                elif partners:
+                    unsafe.append((node, partners))
+                continue
+            pieces, removed, report = self._singleton_split(tracker, node, t)
+            if report.ok:
+                safe.append(node)
+                continue
+            partners = self._partner_superset(
+                tracker, pending, node, pieces, report, chain.relieved
+            )
+            if self._permanent_failure(tracker, pieces, report):
+                chain.perm_partners[node] = partners
+                if not partners:
+                    chain.perm_dead.add(node)
+            else:
+                retry_t = self._failure_retry_time(pieces)
+                if retry_t is not None and retry_t > t + 1:
+                    chain.retry_sing[node] = (retry_t, partners)
+            if partners:
+                unsafe.append((node, partners))
+        rescued: List[Node] = []
+        for node, partners in unsafe:
+            if self._out_of_time():
+                break
+            for partner in partners:
+                key = (node, partner)
+                if key in chain.pair_dead:
+                    continue
+                held_t = chain.retry_pair.get(key)
+                if held_t is not None:
+                    if t < held_t:
+                        continue
+                    del chain.retry_pair[key]
+                pieces, removed, report = self._pair_split(tracker, node, partner, t)
+                if report.ok:
+                    rescued.append(node)
+                    break
+                if self._permanent_failure(tracker, pieces, report):
+                    chain.pair_dead.add(key)
+                else:
+                    retry_t = self._failure_retry_time(pieces)
+                    if retry_t is not None and retry_t > t + 1:
+                        chain.retry_pair[key] = retry_t
+        candidates = safe + rescued
+        if len(candidates) > self.max_branch_width:
+            candidates = candidates[: self.max_branch_width]
+            self.width_cut = True
+        return candidates
+
+    @staticmethod
+    def _singleton_split(tracker, node: Node, t: int):
+        pieces, _trims, _deflected, removed, report = tracker._split([node], t)
+        tracker._check_new_congestion(pieces, removed, report)
+        return pieces, removed, report
+
+    @staticmethod
+    def _pair_split(tracker, node: Node, partner: Node, t: int):
+        pieces, _trims, _deflected, removed, report = tracker._split([node, partner], t)
+        tracker._check_new_congestion(pieces, removed, report)
+        return pieces, removed, report
+
+    def _permanent_failure(self, tracker, pieces, report) -> bool:
+        """Does this failed probe stay failed for the rest of the chain?
+
+        Two sufficient conditions, both route-based and therefore
+        time-invariant on a frozen tracker:
+
+        * an *infinite* piece loops or black-holes -- the piece exists at
+          every later application time (its parent emits forever, so the
+          post-cut window is never empty) with the same trajectory;
+        * steady-state congestion -- on some link the probe reported
+          violated, counting only *infinite* emission windows (committed
+          classes crossing it, minus split parents, plus the probe's
+          infinite pieces), the load exceeds the capacity.  Finite
+          classes drain but infinite ones do not: at any later
+          application time the same infinite contributors overlap beyond
+          every finite horizon, so the violation recurs at every step
+          (and is reported, because committed state is congestion-free,
+          so the overload always involves a fresh piece the probe's
+          congestion check covers).
+
+        Only the links in ``report.congestion`` need the steady test: a
+        steady overload shows up as a (clamped-)unbounded violation of
+        this very probe, so its link is always among the reported spans.
+        """
+        for piece, _parent in pieces:
+            if piece.outcome != DELIVERED and piece.hi is None and not piece.is_empty():
+                return True
+        if not report.congestion:
+            return False
+        ops = self._ops
+        demand = self._demand
+        infinite_pieces = [p for p, _ in pieces if p.hi is None and not p.is_empty()]
+        parents: Dict[int, object] = {}
+        for _piece, parent in pieces:
+            if parent.hi is None:
+                parents[id(parent)] = parent
+        if not infinite_pieces:
+            return False
+        for span in report.congestion:
+            link = span.link
+            count = 0
+            for cls in ops.classes_crossing(tracker, link):
+                if cls.hi is None and not _class_is_empty(cls):
+                    count += 1
+            for parent in parents.values():
+                if ops.crosses(tracker, parent, link):
+                    count -= 1
+            for piece in infinite_pieces:
+                if ops.crosses(tracker, piece, link):
+                    count += 1
+            if count * demand > span.capacity + _EPS:
+                return True
+        return False
+
+    @staticmethod
+    def _failure_retry_time(pieces) -> Optional[int]:
+        """First step at which this probe's loop/black-hole failure can clear.
+
+        A deflected piece at hit index ``i`` exists exactly while the
+        deflection threshold ``t - offsets[i]`` has not passed the
+        parent's last emission, i.e. while ``t <= parent.hi + offsets[i]``
+        (:func:`repro.core.intervals._split_class`: the piece's upper
+        bound is fixed at ``parent.hi`` while its lower bound tracks the
+        threshold).  A looping or black-holed piece therefore keeps the
+        probe failing -- with the *same* trajectory, so the same loop
+        report -- up to and including that step.  Returns ``None`` when
+        the failure is congestion-only (no drain argument applies).
+        """
+        retry: Optional[int] = None
+        for piece, parent in pieces:
+            if piece.outcome == DELIVERED or piece.is_empty():
+                continue
+            if parent.hi is None:
+                continue  # permanent; handled by _permanent_failure
+            clear = int(parent.hi) + int(parent.offsets[piece.fresh_from]) + 1
+            if retry is None or clear > retry:
+                retry = clear
+        return retry
+
+    def _relieved_links(self, tracker, pending: Tuple[Node, ...]) -> Dict[Node, Set]:
+        """``p -> links whose committed load p's application can reduce``.
+
+        Applying ``p`` deflects the late emissions of every committed
+        class crossing it, removing that class's contribution to the
+        old-route links strictly beyond ``p`` -- and nothing else.  Any
+        congestion rescue of another switch therefore needs the partner
+        either on this map for a violated link, or on the violating
+        pieces/parents themselves (handled separately).
+        """
+        ops = self._ops
+        pending_set = set(pending)
+        relieved: Dict[Node, Set] = {}
+        for cls in tracker.classes:
+            if _class_is_empty(cls):
+                continue
+            names = ops.class_nodes(tracker, cls)
+            suffix: List = []
+            for i in range(len(names) - 2, -1, -1):
+                suffix.append((names[i], names[i + 1]))
+                node = names[i]
+                if node in pending_set:
+                    bucket = relieved.get(node)
+                    if bucket is None:
+                        bucket = relieved[node] = set()
+                    bucket.update(suffix)
+        return relieved
+
+    def _partner_superset(
+        self,
+        tracker,
+        pending: Tuple[Node, ...],
+        node: Node,
+        pieces,
+        report,
+        relieved: Dict[Node, Set],
+    ) -> List[Node]:
+        """Pending switches that could rescue ``node``, in pending order.
+
+        A partner changes the singleton outcome only by altering some
+        contribution to it:
+
+        * re-routing or re-partitioning the violating pieces -- partner
+          on a piece's trajectory (including its fresh suffix) or on the
+          split parent;
+        * removing committed load from a violated link -- partner whose
+          :meth:`_relieved_links` entry hits a violated link (load can
+          only be *removed* from the old-route continuation beyond the
+          partner; added load never fixes congestion).
+
+        The union is a complete rescuer superset for congestion, loop
+        and black-hole failures alike, so probing only these partners
+        yields exactly the reference engine's rescued set.
+        """
+        ops = self._ops
+        near: Set[Node] = set()
+        for piece, parent in pieces:
+            near.update(ops.class_nodes(tracker, piece))
+            near.update(ops.class_nodes(tracker, parent))
+        violated = {span.link for span in report.congestion}
+        out: List[Node] = []
+        for p in pending:
+            if p == node:
+                continue
+            if p in near:
+                out.append(p)
+                continue
+            if violated:
+                links = relieved.get(p)
+                if links is not None and not violated.isdisjoint(links):
+                    out.append(p)
+        return out
+
+    # -- expansion -----------------------------------------------------
+    @staticmethod
+    def _apply_one(tracker, node: Node, t: int):
+        """Apply one switch unconditionally; returns (pieces, report)."""
+        pieces, trims, deflected, removed, report = tracker._split([node], t)
+        tracker._check_new_congestion(pieces, removed, report)
+        tracker._commit([node], t, trims, deflected, removed)
+        return pieces, report
+
+    @staticmethod
+    def _state_clean(tracker) -> bool:
+        return not (tracker.loops or tracker.blackholes or tracker.congestion_spans())
+
+    def _repairable(self, tracker, pieces, report, rest: Sequence[Node]) -> bool:
+        """Can any switch in ``rest`` still clear this apply's violations?
+
+        Same completeness argument as :meth:`_rescue_partners`: a later
+        include can only remove a violation by touching the violating
+        pieces, their parents, or a class loading a violated link.
+        """
+        if not rest:
+            return False
+        ops = self._ops
+        rest_set = set(rest)
+        for piece, parent in pieces:
+            if rest_set.intersection(ops.class_nodes(tracker, piece)):
+                return True
+            if rest_set.intersection(ops.class_nodes(tracker, parent)):
+                return True
+        seen_links = set()
+        for span in report.congestion:
+            if span.link in seen_links:
+                continue
+            seen_links.add(span.link)
+            for cls in ops.classes_crossing(tracker, span.link):
+                if rest_set.intersection(ops.class_nodes(tracker, cls)):
+                    return True
+        return False
+
+    def _expand_subsets(
+        self, tracker, pending: Tuple[Node, ...], candidates: List[Node], t: int
+    ) -> bool:
+        """Include/exclude DFS over ``candidates`` (include first).
+
+        Visits every non-empty subset exactly once, as a chain of
+        single-switch applies on scratch clones; include-first ordering
+        reaches the full candidate set first, mirroring the reference
+        engine's largest-subsets-first incumbent hunting.
+        """
+        applied_any = False
+        k = len(candidates)
+        chosen: List[Node] = []
+        t0 = self.t0
+
+        def descend(i: int, scratch, debt: bool) -> None:
+            nonlocal applied_any
+            if self.timed_out or self._tick():
+                return
+            if i == k:
+                if not chosen:
+                    return
+                if debt and not self._state_clean(scratch):
+                    return
+                applied_any = True
+                chosen_set = set(chosen)
+                remaining = tuple(n for n in pending if n not in chosen_set)
+                if remaining and t + 2 - t0 >= self.best_makespan:
+                    return
+                self._dfs(scratch, remaining, t + 1, t)
+                return
+            node = candidates[i]
+            # Include branch first (larger subsets first).
+            child = scratch.clone()
+            pieces, report = self._apply_one(child, node, t)
+            child_debt = debt
+            include = True
+            if not report.ok:
+                if self._repairable(child, pieces, report, candidates[i + 1 :]):
+                    child_debt = True
+                else:
+                    include = False  # violation can never be cleared
+            if include:
+                # Each committed probe-chain state is an expanded node of
+                # this engine's (binary include/exclude) search tree.
+                self.explored += 1
+                chosen.append(node)
+                descend(i + 1, child, child_debt)
+                chosen.pop()
+            if self.timed_out:
+                return
+            descend(i + 1, scratch, debt)
+
+        descend(0, tracker, False)
+        return applied_any
+
+    def _expand_full(self, tracker, pending: Tuple[Node, ...], t: int) -> bool:
+        """Probe only the all-pending round (the full_only fast path)."""
+        child = tracker.clone()
+        debt = False
+        for node in pending:
+            pieces, report = self._apply_one(child, node, t)
+            self.explored += 1
+            if not report.ok:
+                idx = pending.index(node)
+                if not self._repairable(child, pieces, report, pending[idx + 1 :]):
+                    return False
+                debt = True
+        if debt and not self._state_clean(child):
+            return False
+        self._dfs(child, (), t + 1, t)
+        return True
+
+
+def run_optimal_search(
+    instance: UpdateInstance,
+    t0: int,
+    time_budget: Optional[float],
+    max_branch_width: int,
+    max_horizon: int,
+    node_budget: Optional[int],
+    seed_times: Optional[Dict[Node, int]],
+    seed_makespan: Optional[int],
+):
+    """Run the array OPT engine; returns the raw search outcome.
+
+    Returns ``(best_times, explored, timed_out, horizon_cut, width_cut)``
+    -- :func:`repro.core.optimal.optimal_schedule` wraps this into an
+    :class:`~repro.core.optimal.OptimalResult`.
+    """
+    search = OptimalSearch(
+        instance, t0, time_budget, max_branch_width, max_horizon, node_budget
+    )
+    with perf.span("opt.search"):
+        best_times, _best_makespan = search.run(seed_times, seed_makespan)
+    return (
+        best_times,
+        search.explored,
+        search.timed_out,
+        search.horizon_cut,
+        search.width_cut,
+    )
+
+
+# ----------------------------------------------------------------------
+# OR: round minimisation on the id-space union graph
+# ----------------------------------------------------------------------
+
+class UnionGraphIds:
+    """Id-space union-graph safety oracle for the OR search.
+
+    Encodes the old/new next-hop tables as flat int lists over interned
+    switch ids (shape borrowed from
+    :class:`repro.core.intervals_array.InstanceArrays`, but numpy-free so
+    the OR engine never needs the dependency).  One safety check walks
+    the implicit union graph with an iterative three-colour DFS over a
+    byte array -- no per-check dict graph build.
+    """
+
+    __slots__ = ("names", "id_of", "n", "next_old", "next_new", "starts")
+
+    def __init__(self, instance: UpdateInstance) -> None:
+        names = list(instance.network.switches)
+        id_of = {name: i for i, name in enumerate(names)}
+        self.names = names
+        self.id_of = id_of
+        self.n = len(names)
+        next_old = [-1] * self.n
+        for src, dst in instance.old_config.items():
+            next_old[id_of[src]] = id_of[dst]
+        next_new = [-1] * self.n
+        for src, dst in instance.new_config.items():
+            next_new[id_of[src]] = id_of[dst]
+        self.next_old = next_old
+        self.next_new = next_new
+        # Only switches with at least one out-edge can be on a cycle.
+        self.starts = [
+            i for i in range(self.n) if next_old[i] >= 0 or next_new[i] >= 0
+        ]
+
+    def round_is_safe(self, updated: bytearray, in_round: bytearray) -> bool:
+        """Acyclicity of the union graph (both rules for in-round switches).
+
+        Semantically identical to
+        :func:`repro.core.rounds.round_is_loop_free`; only the graph
+        representation differs.
+        """
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = bytearray(self.n)
+        next_old = self.next_old
+        next_new = self.next_new
+
+        def out_edges(v: int) -> Tuple[int, ...]:
+            if updated[v]:
+                new = next_new[v]
+                return (new,) if new >= 0 else ()
+            if in_round[v]:
+                return tuple(h for h in (next_old[v], next_new[v]) if h >= 0)
+            old = next_old[v]
+            return (old,) if old >= 0 else ()
+
+        for start in self.starts:
+            if colour[start] != WHITE:
+                continue
+            stack: List[Tuple[int, Tuple[int, ...], int]] = [
+                (start, out_edges(start), 0)
+            ]
+            colour[start] = GREY
+            while stack:
+                v, children, index = stack[-1]
+                if index < len(children):
+                    stack[-1] = (v, children, index + 1)
+                    child = children[index]
+                    state = colour[child]
+                    if state == GREY:
+                        return False
+                    if state == WHITE:
+                        colour[child] = GREY
+                        stack.append((child, out_edges(child), 0))
+                else:
+                    colour[v] = BLACK
+                    stack.pop()
+        return True
+
+
+def run_round_search(
+    instance: UpdateInstance,
+    time_budget: Optional[float],
+    max_branch_width: int,
+    node_budget: Optional[int],
+):
+    """The ``engine="array"`` round-minimisation branch and bound.
+
+    Same branch structure as the reference ``minimize_rounds`` DFS --
+    greedy incumbent, greedy maximal safe set per node, subsets largest
+    first -- with three changes that preserve its incumbent evolution
+    exactly: the id-space safety oracle, no per-subset safety recheck
+    (safe sets are downward closed, so every subset of the maximal set
+    passes), and a sound ``frozenset(updated) -> fewest rounds`` memo (a
+    revisit with at least as many rounds used can never improve the
+    incumbent, because the earlier visit already explored the identical
+    subtree at an offset no worse).
+
+    Returns ``(rounds, explored, timed_out, width_cut, elapsed)``.
+    """
+    started = time.monotonic()
+    deadline = None if time_budget is None else started + time_budget
+    pending_all = tuple(instance.switches_to_update)
+    greedy = greedy_loop_free_rounds(instance, list(pending_all), deadline=deadline)
+    best: List[List[Node]] = greedy
+    best_count = len(greedy)
+    explored = 0
+    timed_out = deadline is not None and time.monotonic() > deadline
+    width_cut = False
+
+    graph = UnionGraphIds(instance)
+    id_of = graph.id_of
+    names = graph.names
+    pending_ids = tuple(id_of[node] for node in pending_all)
+    updated_mask = bytearray(graph.n)
+    round_mask = bytearray(graph.n)
+    memo: Dict[FrozenSet[int], int] = {}
+    stack: List[Tuple[int, ...]] = []
+
+    def dfs(updated_ids: FrozenSet[int], pending: Tuple[int, ...], used_rounds: int) -> None:
+        nonlocal best, best_count, explored, timed_out, width_cut
+        if timed_out:
+            return
+        if time_budget is not None and time.monotonic() - started > time_budget:
+            timed_out = True
+            return
+        if node_budget is not None and explored >= node_budget:
+            timed_out = True
+            return
+        explored += 1
+        if not pending:
+            if used_rounds < best_count:
+                best_count = used_rounds
+                best = [[names[i] for i in r] for r in stack]
+            return
+        if used_rounds + 1 >= best_count:
+            return
+        seen = memo.get(updated_ids)
+        if seen is not None and seen <= used_rounds:
+            return
+        memo[updated_ids] = used_rounds
+
+        # Greedy maximal safe set, in pending order (same as reference).
+        maximal: List[int] = []
+        for index, node in enumerate(pending):
+            if (
+                time_budget is not None
+                and index % 64 == 0
+                and time.monotonic() - started > time_budget
+            ):
+                timed_out = True
+                return
+            round_mask[node] = 1
+            if graph.round_is_safe(updated_mask, round_mask):
+                maximal.append(node)
+            else:
+                round_mask[node] = 0
+        for node in maximal:
+            round_mask[node] = 0
+        if not maximal:
+            return  # dead end (possible only with exotic drain rules)
+        if len(maximal) > max_branch_width:
+            maximal = maximal[:max_branch_width]
+            width_cut = True
+
+        for size in range(len(maximal), 0, -1):
+            for subset in itertools.combinations(maximal, size):
+                # Subsets of a safe set are safe: no recheck needed.
+                stack.append(subset)
+                for node in subset:
+                    updated_mask[node] = 1
+                dfs(
+                    updated_ids | frozenset(subset),
+                    tuple(n for n in pending if n not in subset),
+                    used_rounds + 1,
+                )
+                for node in subset:
+                    updated_mask[node] = 0
+                stack.pop()
+                if timed_out:
+                    return
+
+    with perf.span("or.search"):
+        dfs(frozenset(), pending_ids, 0)
+    return best, explored, timed_out, width_cut, time.monotonic() - started

@@ -103,6 +103,8 @@ def run_instance(
     opt_node_budget: Optional[int] = None,
     or_node_budget: Optional[int] = None,
     verify: bool = False,
+    opt_engine: str = "array",
+    or_engine: str = "array",
 ) -> Dict[str, InstanceOutcome]:
     """Evaluate the requested schemes on one instance.
 
@@ -111,6 +113,11 @@ def run_instance(
     budgets, so outcomes stop depending on machine load (see
     :func:`repro.core.optimal.optimal_schedule` and
     :func:`repro.updates.order_replacement.minimize_rounds`).
+
+    ``opt_engine`` / ``or_engine`` pick the exact-search engines
+    (``"array"`` default, ``"reference"`` for the differential oracles;
+    DESIGN.md §13) -- note the engines count explored nodes at different
+    granularities, so node budgets are engine-specific.
 
     With ``verify=True`` every evaluated schedule is re-checked by the
     independent verifier and the outcome's ``verifier_agrees`` flag is
@@ -137,7 +144,10 @@ def run_instance(
 
     if "opt" in schemes:
         result = optimal_schedule(
-            instance, time_budget=opt_budget, node_budget=opt_node_budget
+            instance,
+            time_budget=opt_budget,
+            node_budget=opt_node_budget,
+            engine=opt_engine,
         )
         if result.schedule is not None:
             metrics = evaluate_schedule(instance, result.schedule)
@@ -164,7 +174,10 @@ def run_instance(
 
     if "or" in schemes:
         rounds = minimize_rounds(
-            instance, time_budget=or_budget, node_budget=or_node_budget
+            instance,
+            time_budget=or_budget,
+            node_budget=or_node_budget,
+            engine=or_engine,
         ).rounds
         realized = realize_round_times(rounds, rng=rng, max_skew=or_skew)
         metrics = evaluate_schedule(instance, realized)
@@ -231,6 +244,8 @@ class SweepItem:
     opt_node_budget: Optional[int] = None
     or_node_budget: Optional[int] = None
     verify: bool = False
+    opt_engine: str = "array"
+    or_engine: str = "array"
 
     def build_instance(self) -> UpdateInstance:
         if self.workload == "mixed":
@@ -257,6 +272,8 @@ def evaluate_sweep_item(item: SweepItem) -> SweepRecord:
         opt_node_budget=item.opt_node_budget,
         or_node_budget=item.or_node_budget,
         verify=item.verify,
+        opt_engine=item.opt_engine,
+        or_engine=item.or_engine,
     )
     return record
 
@@ -276,6 +293,8 @@ def run_sweep(
     opt_node_budget: Optional[int] = None,
     or_node_budget: Optional[int] = None,
     verify: bool = False,
+    opt_engine: str = "array",
+    or_engine: str = "array",
 ) -> List[SweepRecord]:
     """Generate and evaluate random instances for each network size.
 
@@ -305,6 +324,8 @@ def run_sweep(
             minimisation.
         verify: Fill every outcome's ``verifier_agrees`` flag by
             re-checking its schedule with the independent verifier.
+        opt_engine: OPT search engine (``"array"``/``"reference"``).
+        or_engine: OR round-minimisation engine (same choices).
     """
     items = [
         SweepItem(
@@ -319,6 +340,8 @@ def run_sweep(
             opt_node_budget=opt_node_budget,
             or_node_budget=or_node_budget,
             verify=verify,
+            opt_engine=opt_engine,
+            or_engine=or_engine,
         )
         for count in switch_counts
         for index in range(instances_per_size)
@@ -418,6 +441,8 @@ def _register_scenario():
                 "opt_node_budget": None,
                 "or_node_budget": None,
                 "verify": False,
+                "opt_engine": "array",
+                "or_engine": "array",
             },
             items=sweep_items,
             evaluate=sweep_evaluate,

@@ -58,6 +58,8 @@ def sweep_evaluate(
         opt_node_budget=params.get("opt_node_budget"),  # type: ignore[arg-type]
         or_node_budget=params.get("or_node_budget"),  # type: ignore[arg-type]
         verify=verify,
+        opt_engine=str(params.get("opt_engine", "array")),
+        or_engine=str(params.get("or_engine", "array")),
     )
     record = evaluate_sweep_item(sweep_item)
     return {

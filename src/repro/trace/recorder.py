@@ -1,8 +1,9 @@
 """The process-global trace recorder: an in-memory tape of TraceRecords.
 
-Ownership follows the fundloads kernel spec: **only the pipeline runner
-and the executors emit trace records** -- schedulers and scenarios never
-talk to sinks, and nothing on the planning side ever reads the tape.
+Ownership follows the fundloads kernel spec: **the pipeline runner, the
+executors, and the exact-search engines emit trace records** (the
+engines emit ``opt.search``/``or.search`` spans) -- nothing else talks
+to sinks, and nothing on the planning side ever reads the tape.
 The recorder is the kernel-owned middleman: instrumented call sites
 append to its buffer, and whoever owns the sink (the
 :class:`~repro.trace.session.TraceSession` in the parent process, the

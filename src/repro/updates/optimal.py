@@ -28,6 +28,8 @@ class OptimalProtocol(UpdateProtocol):
             this for reproducible verdicts).
         verify: Attach an independent :class:`repro.core.verdict.Verdict`
             to every plan.
+        engine: Search engine (``"array"`` default, ``"reference"`` for
+            the differential oracle).
     """
 
     name = "opt"
@@ -37,10 +39,12 @@ class OptimalProtocol(UpdateProtocol):
         time_budget: Optional[float] = None,
         node_budget: Optional[int] = None,
         verify: bool = False,
+        engine: str = "array",
     ) -> None:
         self.time_budget = time_budget
         self.node_budget = node_budget
         self.verify = verify
+        self.engine = engine
 
     def plan(self, instance: UpdateInstance, t0: int = 0) -> UpdatePlan:
         result = optimal_schedule(
@@ -48,6 +52,7 @@ class OptimalProtocol(UpdateProtocol):
             t0=t0,
             time_budget=self.time_budget,
             node_budget=self.node_budget,
+            engine=self.engine,
         )
         if result.schedule is not None:
             schedule = result.schedule

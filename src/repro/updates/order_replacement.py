@@ -29,12 +29,15 @@ from repro.core.rounds import greedy_loop_free_rounds, round_is_loop_free
 from repro.core.schedule import UpdateSchedule, schedule_from_rounds
 from repro.network.graph import Node
 from repro.perf import perf
+from repro.trace import recorder
 from repro.updates.base import (
     RuleAccounting,
     UpdatePlan,
     UpdateProtocol,
     count_baseline_rules,
 )
+
+OR_ENGINES = ("array", "reference")
 
 
 @dataclass
@@ -43,15 +46,22 @@ class RoundMinimizationResult:
 
     Attributes:
         rounds: Best round partition found.
-        proven: Whether the search completed (true optimum).
+        proven: Whether the search completed without truncation (true
+            optimum).
         explored: Search nodes visited.
         elapsed: Wall-clock seconds.
+        width_cut: Whether a greedy maximal safe set was truncated to
+            ``max_branch_width`` somewhere in the search -- a truncated
+            branch may hide a shorter partition, so ``width_cut``
+            forfeits the optimality claim (``proven`` is forced
+            ``False``).
     """
 
     rounds: List[List[Node]]
     proven: bool
     explored: int
     elapsed: float
+    width_cut: bool = False
 
     @property
     def round_count(self) -> int:
@@ -63,6 +73,7 @@ def minimize_rounds(
     time_budget: Optional[float] = None,
     max_branch_width: int = 16,
     node_budget: Optional[int] = None,
+    engine: str = "array",
 ) -> RoundMinimizationResult:
     """Minimise the number of loop-free update rounds by branch and bound.
 
@@ -76,13 +87,64 @@ def minimize_rounds(
         instance: The update instance.
         time_budget: Seconds before returning the incumbent (``None`` =
             solve to optimality).
-        max_branch_width: Cap on per-round subset enumeration.
+        max_branch_width: Cap on per-round subset enumeration.  Truncation
+            is reported via ``width_cut`` and forfeits ``proven``.
         node_budget: Deterministic cap on explored search nodes.  Unlike
             ``time_budget``, exhausting it is a pure function of the
             instance, so results are reproducible across machines and
             under CPU contention (the parallel-vs-serial bench identity
             gate relies on this).
+        engine: ``"array"`` (default) for the shared search core in
+            :mod:`repro.core.search` (id-space union-graph oracle, no
+            redundant subset rechecks, sound updated-set memo);
+            ``"reference"`` for the original search kept as the
+            differential oracle.
     """
+    if engine not in OR_ENGINES:
+        raise ValueError(f"unknown OR engine {engine!r} (expected one of {OR_ENGINES})")
+    handle = recorder.span(
+        "or.search",
+        {"engine": engine, "switches": len(tuple(instance.switches_to_update))},
+    )
+    try:
+        if engine == "array":
+            from repro.core.search import run_round_search
+
+            rounds, explored, timed_out, width_cut, elapsed = run_round_search(
+                instance, time_budget, max_branch_width, node_budget
+            )
+            result = RoundMinimizationResult(
+                rounds=rounds,
+                proven=not timed_out and not width_cut,
+                explored=explored,
+                elapsed=elapsed,
+                width_cut=width_cut,
+            )
+        else:
+            result = _reference_minimize_rounds(
+                instance, time_budget, max_branch_width, node_budget
+            )
+        if handle.span_id is not None:
+            handle.attributes.update(
+                {
+                    "explored": result.explored,
+                    "proven": result.proven,
+                    "width_cut": result.width_cut,
+                    "rounds": result.round_count,
+                }
+            )
+    finally:
+        handle.close()
+    return result
+
+
+def _reference_minimize_rounds(
+    instance: UpdateInstance,
+    time_budget: Optional[float],
+    max_branch_width: int,
+    node_budget: Optional[int],
+) -> RoundMinimizationResult:
+    """The original dict-graph branch and bound (differential oracle)."""
     started = time.monotonic()
     deadline = None if time_budget is None else started + time_budget
     pending_all: Tuple[Node, ...] = tuple(instance.switches_to_update)
@@ -91,9 +153,10 @@ def minimize_rounds(
     best_count = len(greedy)
     explored = 0
     timed_out = deadline is not None and time.monotonic() > deadline
+    width_cut = False
 
     def dfs(updated: Set[Node], pending: Tuple[Node, ...], used_rounds: int) -> None:
-        nonlocal best, best_count, explored, timed_out
+        nonlocal best, best_count, explored, timed_out, width_cut
         if timed_out:
             return
         if time_budget is not None and time.monotonic() - started > time_budget:
@@ -128,6 +191,7 @@ def minimize_rounds(
             return  # dead end (possible only with exotic drain rules)
         if len(maximal) > max_branch_width:
             maximal = maximal[:max_branch_width]
+            width_cut = True
 
         for size in range(len(maximal), 0, -1):
             for subset in itertools.combinations(maximal, size):
@@ -148,9 +212,10 @@ def minimize_rounds(
         dfs(set(), pending_all, 0)
     return RoundMinimizationResult(
         rounds=best,
-        proven=not timed_out,
+        proven=not timed_out and not width_cut,
         explored=explored,
         elapsed=time.monotonic() - started,
+        width_cut=width_cut,
     )
 
 
@@ -211,6 +276,8 @@ class OrderReplacementProtocol(UpdateProtocol):
             (reproducible results across machines).
         verify: Attach an independent :class:`repro.core.verdict.Verdict`
             for the *nominal* round schedule to every plan.
+        engine: Search engine for the exact solver (``"array"`` default,
+            ``"reference"`` for the differential oracle).
     """
 
     name = "or"
@@ -223,6 +290,7 @@ class OrderReplacementProtocol(UpdateProtocol):
         max_skew: int = 3,
         node_budget: Optional[int] = None,
         verify: bool = False,
+        engine: str = "array",
     ) -> None:
         self.exact = exact
         self.time_budget = time_budget
@@ -230,11 +298,15 @@ class OrderReplacementProtocol(UpdateProtocol):
         self.max_skew = max_skew
         self.node_budget = node_budget
         self.verify = verify
+        self.engine = engine
 
     def plan(self, instance: UpdateInstance, t0: int = 0) -> UpdatePlan:
         if self.exact:
             result = minimize_rounds(
-                instance, time_budget=self.time_budget, node_budget=self.node_budget
+                instance,
+                time_budget=self.time_budget,
+                node_budget=self.node_budget,
+                engine=self.engine,
             )
             rounds = result.rounds
             notes = "" if result.proven else "round minimisation hit its budget"

@@ -97,3 +97,68 @@ class TestMultiSizeGate:
         history = [record(None, sizes={"4000": 1.0})]
         current = record(None, sizes={"4000": "skipped"})
         assert bench.greedy_regression(current, history) is None
+
+
+def opt_record(nodes_per_sec, engine="array", cpus=1, switches=30, instances=8,
+               quick=False, profile=False, omit_engine=False):
+    opt = {
+        "switches": switches,
+        "instances": instances,
+        "nodes_per_sec": nodes_per_sec,
+        "explored": 1000,
+        "elapsed": 1.0,
+        "proven": 4,
+    }
+    if not omit_engine:
+        opt["engine"] = engine
+    entry = {"cpus": cpus, "quick": quick, "opt": opt}
+    if profile:
+        entry["profile"] = {"spans": {}, "counters": {}}
+    return entry
+
+
+class TestOptRegressionGate:
+    def test_no_history_skips(self):
+        assert bench.opt_regression(opt_record(2000.0), []) is None
+
+    def test_within_limit_passes(self):
+        history = [opt_record(2000.0)]
+        assert bench.opt_regression(opt_record(1600.0), history) is None
+
+    def test_regression_fails(self):
+        history = [opt_record(2000.0)]
+        message = bench.opt_regression(opt_record(1000.0), history)
+        assert message is not None
+        assert "opt[array]" in message
+
+    def test_best_prior_is_the_baseline(self):
+        history = [opt_record(500.0), opt_record(2000.0)]
+        assert bench.opt_regression(opt_record(1000.0), history) is not None
+
+    def test_other_engine_not_comparable(self):
+        # A new engine's first record must not be gated against the old
+        # engine's throughput (node granularities differ).
+        history = [opt_record(2000.0, engine="reference")]
+        assert bench.opt_regression(opt_record(100.0, engine="array"), history) is None
+
+    def test_legacy_records_count_as_reference(self):
+        history = [opt_record(172.0, omit_engine=True)]
+        message = bench.opt_regression(opt_record(100.0, engine="reference"), history)
+        assert message is not None
+        assert bench.opt_regression(opt_record(100.0, engine="array"), history) is None
+
+    def test_other_machine_class_skipped(self):
+        history = [opt_record(2000.0, cpus=32)]
+        assert bench.opt_regression(opt_record(100.0, cpus=1), history) is None
+
+    def test_other_workload_skipped(self):
+        history = [opt_record(2000.0, switches=20)]
+        assert bench.opt_regression(opt_record(100.0, switches=30), history) is None
+
+    def test_quick_and_profiled_records_skipped(self):
+        history = [opt_record(2000.0)]
+        assert bench.opt_regression(opt_record(100.0, quick=True), history) is None
+        assert bench.opt_regression(opt_record(100.0, profile=True), history) is None
+        assert bench.opt_regression(
+            opt_record(100.0), [opt_record(9000.0, quick=True)]
+        ) is None

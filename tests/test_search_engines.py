@@ -1,0 +1,184 @@
+"""Differential pins between the array and reference exact-search engines.
+
+The ``engine="array"`` OPT/OR search core (``repro.core.search``) must be
+*value-equal* to the original engines kept as ``engine="reference"``:
+same feasibility verdict, same optimal makespan / round count, and the
+same ``proven`` claim on every search that runs to completion.  These
+pins are exact-value comparisons (the engines are free to explore
+different node counts -- they count nodes at different granularities,
+see DESIGN.md §13), exercised over hundreds of seeded instances plus the
+Amiri-style adversarial families (path reversals and tight-capacity
+segmented reroutes) that stress rescue pairs and transient loops.
+"""
+
+import pytest
+
+from repro.core.instance import (
+    random_instance,
+    reversal_instance,
+    segmented_instance,
+)
+from repro.core.optimal import optimal_schedule, exhaustive_schedule
+from repro.updates.order_replacement import minimize_rounds
+
+
+def _assert_opt_agree(instance, label, **kwargs):
+    ref = optimal_schedule(instance, engine="reference", **kwargs)
+    arr = optimal_schedule(instance, engine="array", **kwargs)
+    assert arr.feasible == ref.feasible, f"{label}: feasibility diverged"
+    assert arr.makespan == ref.makespan, f"{label}: makespan diverged"
+    assert arr.proven == ref.proven, f"{label}: proven diverged"
+    return ref, arr
+
+
+class TestOptAgainstExhaustive:
+    """The array engine against the brute-force oracle on tiny instances."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_matches_exhaustive(self, seed):
+        instance = random_instance(4 + seed % 3, seed=9000 + seed)
+        result = optimal_schedule(instance, engine="array")
+        oracle = exhaustive_schedule(instance, max_makespan=8)
+        if oracle is None:
+            # No valid assignment within the oracle's makespan bound.
+            assert result.schedule is None or result.makespan > 8
+        else:
+            assert result.schedule is not None
+            assert result.makespan == oracle.makespan
+
+
+class TestOptEnginesAgree:
+    """Unbudgeted value parity: feasibility, makespan and proven."""
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_random_instances(self, seed):
+        instance = random_instance(4 + seed % 6, seed=1700 + seed, max_delay=3)
+        _assert_opt_agree(instance, f"random seed={seed}")
+
+    @pytest.mark.parametrize("count", range(3, 10))
+    def test_reversal_instances(self, count):
+        # Full path reversal: the hardest rescue-pair workload (every
+        # singleton update loops until a partner cuts the cycle).
+        _assert_opt_agree(reversal_instance(count), f"reversal count={count}")
+
+    @pytest.mark.parametrize("count", range(3, 9))
+    def test_tight_capacity_reversals(self, count):
+        # Capacity exactly one demand: any transient overlap congests, so
+        # feasibility hinges on exact drain timing in both engines.
+        instance = reversal_instance(count, demand=1.0, capacity=1.0)
+        _assert_opt_agree(instance, f"tight reversal count={count}")
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_segmented_instances(self, seed):
+        instance = segmented_instance(
+            10, seed=400 + seed, segments=2, max_segment_length=4
+        )
+        _assert_opt_agree(instance, f"segmented seed={seed}")
+
+
+class TestOrEnginesAgree:
+    """Round minimisation: exact round-count and proven parity."""
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_random_instances(self, seed):
+        instance = random_instance(4 + seed % 6, seed=3100 + seed, max_delay=3)
+        ref = minimize_rounds(instance, engine="reference")
+        arr = minimize_rounds(instance, engine="array")
+        assert arr.round_count == ref.round_count, f"seed={seed}"
+        assert arr.proven == ref.proven, f"seed={seed}"
+
+    @pytest.mark.parametrize("count", range(3, 10))
+    def test_reversal_instances(self, count):
+        ref = minimize_rounds(reversal_instance(count), engine="reference")
+        arr = minimize_rounds(reversal_instance(count), engine="array")
+        assert arr.round_count == ref.round_count
+        assert arr.proven == ref.proven
+
+
+class TestNodeBudgets:
+    """Budgeted runs: determinism, and no proven-power regression."""
+
+    def test_node_budget_deterministic(self):
+        instance = random_instance(14, seed=77)
+        results = [
+            optimal_schedule(instance, node_budget=400, engine="array")
+            for _ in range(2)
+        ]
+        first, second = results
+        assert first.explored == second.explored
+        assert first.proven == second.proven
+        assert first.makespan == second.makespan
+        times_a = None if first.schedule is None else first.schedule.as_dict()
+        times_b = None if second.schedule is None else second.schedule.as_dict()
+        assert times_a == times_b
+
+    def test_proven_at_least_reference_under_equal_budgets(self):
+        # Aggregate proving power at a fixed deterministic budget: the new
+        # engine must prove at least as many instances as the oracle.
+        budget = 300
+        ref_proven = arr_proven = 0
+        for seed in range(20):
+            instance = random_instance(12 + seed % 3, seed=500 + seed * 13)
+            ref = optimal_schedule(
+                instance, node_budget=budget, time_budget=10.0, engine="reference"
+            )
+            arr = optimal_schedule(
+                instance, node_budget=budget, time_budget=10.0, engine="array"
+            )
+            ref_proven += ref.proven
+            arr_proven += arr.proven
+            if ref.proven and arr.proven:
+                assert ref.makespan == arr.makespan, f"seed={seed}"
+                assert ref.feasible == arr.feasible, f"seed={seed}"
+        assert arr_proven >= ref_proven
+
+    def test_or_node_budget_deterministic(self):
+        instance = random_instance(12, seed=99)
+        first = minimize_rounds(instance, node_budget=200, engine="array")
+        second = minimize_rounds(instance, node_budget=200, engine="array")
+        assert first.explored == second.explored
+        assert first.rounds == second.rounds
+        assert first.proven == second.proven
+
+
+class TestWidthCut:
+    """Truncated candidate sets must forfeit the optimality claim."""
+
+    def test_opt_width_cut_forfeits_proven(self):
+        # 10 pending switches, width 2: the candidate set truncates, so
+        # neither engine may claim a proven optimum.
+        instance = random_instance(10, seed=11)
+        for engine in ("array", "reference"):
+            result = optimal_schedule(instance, max_branch_width=2, engine=engine)
+            if result.width_cut:
+                assert not result.proven, engine
+
+    def test_opt_width_cut_engines_agree(self):
+        hit = 0
+        for seed in range(12):
+            instance = random_instance(9, seed=6000 + seed)
+            ref = optimal_schedule(instance, max_branch_width=2, engine="reference")
+            arr = optimal_schedule(instance, max_branch_width=2, engine="array")
+            assert arr.proven == ref.proven, f"seed={seed}"
+            assert arr.width_cut == ref.width_cut, f"seed={seed}"
+            hit += arr.width_cut
+        assert hit > 0, "no instance exercised the truncation path"
+
+    def test_or_width_cut_forfeits_proven(self):
+        hit = 0
+        for seed in range(12):
+            instance = random_instance(8, seed=7000 + seed)
+            ref = minimize_rounds(instance, max_branch_width=1, engine="reference")
+            arr = minimize_rounds(instance, max_branch_width=1, engine="array")
+            assert arr.width_cut == ref.width_cut, f"seed={seed}"
+            assert arr.proven == ref.proven, f"seed={seed}"
+            if arr.width_cut:
+                assert not arr.proven
+                hit += 1
+        assert hit > 0, "no instance exercised the truncation path"
+
+    def test_untruncated_run_reports_no_cut(self):
+        instance = random_instance(5, seed=3)
+        result = optimal_schedule(instance, engine="array")
+        assert not result.width_cut
+        assert result.proven
