@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-full validate validate-fast profile faults pipeline-smoke trace-smoke
+.PHONY: test test-fast bench bench-full validate validate-fast profile faults pipeline-smoke trace-smoke service-smoke
 
 test:            ## full tier-1 suite + quick conformance gate
 	$(PYTHON) -m pytest -x -q
@@ -33,3 +33,6 @@ pipeline-smoke:  ## kill-and-resume a tiny scenario; gate on byte-identical reco
 
 trace-smoke:     ## pool run with a SQLite sink; gate on worker spans reaching it
 	$(PYTHON) scripts/trace_smoke.py
+
+service-smoke:   ## burst through the update service; gate on terminal+conformant+lockstep
+	$(PYTHON) scripts/service_smoke.py

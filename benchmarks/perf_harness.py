@@ -23,6 +23,10 @@ What it measures:
   pre-copy-on-write behaviour), giving the structural-sharing speedup.
 * **sweep** -- a Fig. 7-style sweep, serial vs. ``ParallelRunner``,
   asserting the records are identical and reporting the speedup.
+* **service** -- the full update-service loop (admission, merging,
+  planning, verification, resilient execution on the shared DES plane):
+  wall-clock updates/sec plus the virtual p50/p95 latency, with
+  conformance and lockstep-determinism flags.
 
 Timings reuse :func:`conftest.timed` / :func:`conftest.run_once` so the
 plain ``[bench]`` lines appear in any environment.
@@ -262,6 +266,85 @@ def bench_sweep(
     return record
 
 
+def bench_service(
+    cells: int = 2,
+    pods: int = 6,
+    pod_size: int = 7,
+    requests: int = 40,
+    mean_interarrival: float = 2.0,
+    base_seed: int = 0,
+) -> Dict[str, object]:
+    """Sustained wall-clock throughput of the update-service loop.
+
+    Runs the full :mod:`repro.service` cells of the ``service`` scenario
+    (admission, merging, greedy planning, verification, resilient timed
+    execution on the shared DES plane) and reports *wall-clock*
+    updates/sec -- the one number the virtual-time pipeline records can
+    never contain -- plus the virtual p50/p95 latency, a conformance
+    flag, and a lockstep check (the first cell re-run must be
+    byte-identical).
+    """
+    from repro.experiments.sweep import sweep_seed
+    from repro.pipeline.store import canonical_json
+    from repro.service.service import ServiceConfig, run_cell
+
+    configs = [
+        ServiceConfig(
+            pods=pods,
+            pod_size=pod_size,
+            requests=requests,
+            mean_interarrival=mean_interarrival,
+            seed=sweep_seed(base_seed, pods, index),
+        )
+        for index in range(max(1, cells))
+    ]
+
+    def run_all():
+        return [run_cell(config) for config in configs]
+
+    reports, elapsed = timed(run_all)
+    rerun = run_cell(configs[0])
+    deterministic = canonical_json(reports[0].to_record()) == canonical_json(
+        rerun.to_record()
+    )
+
+    total = sum(r.summary["requests"] for r in reports)
+    served = sum(
+        r.summary["completed"] + r.summary["superseded"] + r.summary["noop"]
+        for r in reports
+    )
+    conformant = all(r.summary["conformant_all"] for r in reports)
+    latencies = [
+        request["latency"]
+        for report in reports
+        for request in report.requests
+        if request["latency"] is not None
+        and request["status"] in ("completed", "superseded", "noop")
+    ]
+    from repro.service.metrics import percentile
+
+    updates_per_sec = served / elapsed if elapsed > 0 else 0.0
+    print(
+        f"[bench] service {cells}x{requests}req ({pods} pods): "
+        f"{elapsed:.3f}s, {updates_per_sec:.1f} upd/s (wall), "
+        f"p50={percentile(latencies, 50)} p95={percentile(latencies, 95)} "
+        f"(virtual s), conformant={conformant} deterministic={deterministic}"
+    )
+    return {
+        "cells": cells,
+        "pods": pods,
+        "pod_size": pod_size,
+        "requests": total,
+        "served": served,
+        "elapsed": round(elapsed, 4),
+        "updates_per_sec": round(updates_per_sec, 2),
+        "latency_p50": percentile(latencies, 50),
+        "latency_p95": percentile(latencies, 95),
+        "conformant": conformant,
+        "deterministic": deterministic,
+    }
+
+
 def collect(quick: bool = False, workers: int = 4) -> Dict[str, object]:
     """Run every benchmark; return one BENCH_sweep.json record."""
     if quick:
@@ -279,6 +362,9 @@ def collect(quick: bool = False, workers: int = 4) -> Dict[str, object]:
                 or_node_budget=300,
             ),
             "memory": {"greedy": bench_greedy_memory(sizes=(400,))},
+            "service": bench_service(
+                cells=1, pods=4, pod_size=6, requests=16
+            ),
         }
     else:
         record = {
@@ -289,6 +375,7 @@ def collect(quick: bool = False, workers: int = 4) -> Dict[str, object]:
             "clone": bench_clone(),
             "sweep": bench_sweep(workers=workers),
             "memory": {"greedy": bench_greedy_memory()},
+            "service": bench_service(),
         }
     return record
 

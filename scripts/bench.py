@@ -27,7 +27,11 @@ Exit status is non-zero when a measured invariant fails:
 * OPT node throughput drops under 1/1.3x the best prior full-size
   record from the same machine class measuring the *same engine* on the
   same workload (engines count nodes at different granularities, so a
-  new engine's first record starts its own baseline).
+  new engine's first record starts its own baseline), or
+* the update-service bench is non-deterministic or non-conformant (hard
+  failures on any machine), or its wall-clock updates/sec drops under
+  1/1.3x the best prior full-size record from the same machine class on
+  the same workload (equal cell/pod/request shape).
 
 Full records also carry a ``memory`` column: peak RSS per greedy bench
 stage, measured in a forked child per size (see
@@ -53,6 +57,7 @@ from repro.validate.gate import run_gate  # noqa: E402
 SLOWDOWN_LIMIT = 1.2
 GREEDY_GATE_LIMIT = 1.3
 OPT_GATE_LIMIT = 1.3
+SERVICE_GATE_LIMIT = 1.3
 
 
 def greedy_regression(record, history):
@@ -153,6 +158,60 @@ def opt_regression(record, history):
     return None
 
 
+def service_regression(record, history):
+    """Failure message when the service bench regressed, else None.
+
+    Two hard invariants fail on any machine: the lockstep re-run must be
+    byte-identical (``deterministic``) and every planned update must
+    verify conformant (``conformant``).  Wall-clock ``updates_per_sec``
+    is gated like OPT throughput: against the best prior full-size
+    record from the same machine class (equal ``cpus``) measuring the
+    same workload shape (equal ``cells``/``pods``/``requests``); quick
+    and profiled records are skipped on both sides.
+    """
+    service = record.get("service")
+    if not isinstance(service, dict):
+        return None
+    failures = []
+    if service.get("deterministic") is False:
+        failures.append("service bench is not lockstep-deterministic")
+    if service.get("conformant") is False:
+        failures.append("service bench produced a non-conformant plan")
+    current = service.get("updates_per_sec")
+    if (
+        not failures
+        and "profile" not in record
+        and not record.get("quick")
+        and isinstance(current, (int, float))
+    ):
+        prior = []
+        for entry in history:
+            if not isinstance(entry, dict) or entry.get("quick") or "profile" in entry:
+                continue
+            if entry.get("cpus") != record.get("cpus"):
+                continue
+            other = entry.get("service")
+            if not isinstance(other, dict):
+                continue
+            if any(
+                other.get(key) != service.get(key)
+                for key in ("cells", "pods", "requests")
+            ):
+                continue
+            best = other.get("updates_per_sec")
+            if isinstance(best, (int, float)):
+                prior.append(best)
+        if prior:
+            best = max(prior)
+            if best > 0 and current * SERVICE_GATE_LIMIT < best:
+                failures.append(
+                    f"service throughput {current:.1f} upd/s is under "
+                    f"1/{SERVICE_GATE_LIMIT}x the best prior record "
+                    f"{best:.1f} upd/s (machine class cpus={record.get('cpus')})"
+                )
+    return "; ".join(failures) if failures else None
+
+
 def main(argv=None) -> int:
     parser = script_parser(__doc__)
     add_quick_flag(parser, "small sizes for smoke runs")
@@ -219,6 +278,9 @@ def main(argv=None) -> int:
     opt_failure = opt_regression(record, history)
     if opt_failure:
         failures.append(opt_failure)
+    service_failure = service_regression(record, history)
+    if service_failure:
+        failures.append(service_failure)
     for failure in failures:
         print(f"BENCH GATE FAILURE: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Service smoke gate: a burst of update requests through the full loop.
+
+Exercises :mod:`repro.service` end-to-end (``make service-smoke``, CI's
+``service-smoke`` job):
+
+1. replay a short seeded burst of requests through the whole service
+   (admission, batch merging, greedy planning, verification, resilient
+   timed execution on the shared DES plane) on the virtual-time loop;
+2. fail unless
+   - **every** request reached a terminal status (nothing wedged),
+   - every completed update carries a conformant plan (the independent
+     :mod:`repro.validate` verifier signed it off),
+   - no traffic was black-holed on the shared plane,
+   - the summary metrics are present and self-consistent
+     (latency percentiles ordered, throughput positive), and
+   - a second run of the same seed is **byte-identical** (lockstep);
+3. run the registered ``service`` scenario through the pipeline store
+   and fail unless its records match a direct cell run.
+
+Usage::
+
+    python scripts/service_smoke.py
+    python scripts/service_smoke.py --requests 60 --seed 3
+
+Exit status: 0 when every check holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.pipeline.cli import script_parser  # noqa: E402
+from repro.pipeline.context import RunContext  # noqa: E402
+from repro.pipeline.runner import run_to_store  # noqa: E402
+from repro.pipeline.store import ArtifactStore, canonical_json  # noqa: E402
+from repro.service import ServiceConfig, run_cell  # noqa: E402
+from repro.service.requests import TERMINAL  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = script_parser(__doc__)
+    parser.add_argument("--requests", type=int, default=30, help="burst length")
+    parser.add_argument("--pods", type=int, default=5, help="tenant count")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--keep", action="store_true", help="keep the temporary store"
+    )
+    args = parser.parse_args(argv)
+
+    failures = []
+    config = ServiceConfig(
+        pods=args.pods,
+        pod_size=6,
+        requests=args.requests,
+        mean_interarrival=1.5,
+        seed=args.seed,
+    )
+    report = run_cell(config)
+    summary = report.summary
+    print(
+        f"[smoke] {summary['requests']} request(s): "
+        f"{summary['completed']} completed, {summary['superseded']} superseded, "
+        f"{summary['noop']} noop, {summary['rejected']} rejected, "
+        f"{summary['aborted']} aborted across {summary['batches']} batch(es) "
+        f"({summary['merged_batches']} merged)"
+    )
+
+    non_terminal = [
+        r["id"] for r in report.requests if r["status"] not in TERMINAL
+    ]
+    if non_terminal:
+        failures.append(f"request(s) {non_terminal} never reached a terminal status")
+    if summary["completed"] < 1:
+        failures.append("burst completed no updates at all")
+    bad_plans = [
+        r["id"]
+        for r in report.requests
+        if r["status"] == "completed" and r["conformant"] is not True
+    ]
+    if bad_plans:
+        failures.append(f"completed request(s) {bad_plans} lack a conformant plan")
+    if not summary["conformant_all"]:
+        failures.append("summary reports a non-conformant plan")
+    if summary["blackholed"] != 0.0:
+        failures.append(f"shared plane black-holed {summary['blackholed']} traffic")
+
+    latency = summary["latency"]
+    if latency["p50"] is None or not (
+        latency["p50"] <= latency["p95"] <= latency["p99"]
+    ):
+        failures.append(f"latency percentiles missing or unordered: {latency}")
+    if not summary["virtual_updates_per_sec"]:
+        failures.append("missing sustained updates/sec metric")
+    if summary["queue"]["max"] is None:
+        failures.append("missing queue-depth metrics")
+
+    rerun = run_cell(config)
+    if canonical_json(report.to_record()) != canonical_json(rerun.to_record()):
+        failures.append("second run of the same seed is not byte-identical")
+    else:
+        print("[smoke] lockstep OK: re-run is byte-identical")
+
+    # The registered scenario must agree with direct cell runs.
+    root = Path(tempfile.mkdtemp(prefix="service-smoke-"))
+    try:
+        run = run_to_store(
+            "service",
+            overrides={"cells": 1, "pods": 4, "pod_size": 6, "requests": 12},
+            ctx=RunContext(),
+            store=ArtifactStore(root=root),
+            run_id="smoke",
+        )
+        if len(run.records) != 1:
+            failures.append(f"scenario produced {len(run.records)} record(s), not 1")
+        else:
+            record = run.records[0]
+            direct = run_cell(
+                ServiceConfig(
+                    pods=4,
+                    pod_size=6,
+                    requests=12,
+                    mean_interarrival=2.0,
+                    seed=int(record["seed"]),
+                )
+            ).to_record()
+            direct["key"] = record["key"]
+            stripped = {k: v for k, v in record.items() if k != "trace"}
+            if canonical_json(stripped) != canonical_json(direct):
+                failures.append("scenario record differs from a direct cell run")
+            else:
+                print("[smoke] scenario record matches the direct cell run")
+    finally:
+        if args.keep:
+            print(f"[smoke] store kept at {root}")
+        else:
+            shutil.rmtree(root, ignore_errors=True)
+
+    for failure in failures:
+        print(f"SERVICE SMOKE FAILURE: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            "[smoke] OK: every request terminal, plans conformant, "
+            "metrics present, lockstep holds"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -127,10 +127,35 @@ class ControlChannel:
         latency = self.network_delay.sample(self._rng)
         arrival = self._sim.now + latency
         if key is not None:
+            self._prune()
             arrival = max(arrival, self._last_delivery.get(key, arrival))
             self._last_delivery[key] = arrival
         self._sim.schedule_at(arrival, deliver)
         return arrival - self._sim.now
+
+    def _prune(self) -> None:
+        """Forget streams whose FIFO floor lies in the simulator's past.
+
+        A floor at or before ``now`` can never constrain a future message
+        (every sampled arrival is already ``>= now``), so dropping those
+        entries is behaviour-preserving.  Without this, a long-running
+        service leaks one entry per stream ever used -- and a stream key
+        reused after a quiet spell would be ordered behind traffic that
+        drained ages ago.
+        """
+        now = self._sim.now
+        stale = [key for key, floor in self._last_delivery.items() if floor <= now]
+        for key in stale:
+            del self._last_delivery[key]
+
+    def reset(self) -> None:
+        """Drop all per-stream FIFO floors (e.g. on a topology change).
+
+        Pending deliveries already handed to the simulator are not
+        recalled; only the ordering floors for *future* sends are
+        cleared, as if every stream were a fresh connection.
+        """
+        self._last_delivery.clear()
 
     def draw_install_latency(self) -> float:
         """One switch-side rule-installation latency."""

@@ -19,6 +19,7 @@ paper's original scale (``run --paper``).
 | fig11         | Fig. 11 -- CDF of the update time, Chronus vs. OPT          |
 | walkthrough   | Figs. 1/2/5 -- the Section II motivating example            |
 | faults        | Beyond the paper: consistency vs. control-plane faults      |
+| service       | Beyond the paper: the long-running update-service loop      |
 | sweep         | Section V-B's raw instance sweep with every knob exposed    |
 
 Importing this package populates the scenario registry; the registry's
@@ -34,6 +35,7 @@ from repro.experiments import (
     fig9,
     fig10,
     fig11,
+    service,
     sweep,
     table2,
     walkthrough,
@@ -47,6 +49,7 @@ __all__ = [
     "fig9",
     "fig10",
     "fig11",
+    "service",
     "sweep",
     "walkthrough",
     "faults_ablation",

@@ -194,16 +194,25 @@ class ArtifactStore:
         run_id: Optional[str] = None,
         extra: Optional[Mapping[str, object]] = None,
     ) -> RunHandle:
-        """Create a fresh run directory with a ``running`` manifest."""
+        """Create a fresh run directory with a ``running`` manifest.
+
+        The directory itself is the claim: ``mkdir(exist_ok=False)`` is
+        atomic on every platform we care about, so two concurrent
+        workers creating the same run id cannot both win -- the loser
+        gets a :class:`StoreError` instead of silently sharing (and
+        corrupting) the winner's record file.
+        """
         if run_id is None:
             run_id = new_run_id()
         directory = self.run_directory(scenario_name, run_id)
-        if (directory / MANIFEST_NAME).exists():
+        directory.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            directory.mkdir()
+        except FileExistsError:
             raise StoreError(
                 f"run {scenario_name}/{run_id} already exists at {directory}; "
                 "use resume, or pick another --run-id"
-            )
-        directory.mkdir(parents=True, exist_ok=True)
+            ) from None
         manifest: Dict[str, object] = {
             "scenario": scenario_name,
             "run_id": run_id,

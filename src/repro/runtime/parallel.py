@@ -154,7 +154,7 @@ class ParallelRunner:
             rest = work[1:]
             if first_seconds * len(rest) < self.serial_threshold_seconds:
                 return head + [fn(item) for item in rest]
-        chunks = self._chunks(rest)
+        chunks = self._chunks(rest, workers)
         hooks = _collection_hooks()
         try:
             context = multiprocessing.get_context("fork")
@@ -192,10 +192,20 @@ class ParallelRunner:
             # themselves are still valid, so redo the map in-process.
             return list(head) + [fn(item) for item in rest]
 
-    def _chunks(self, work: Sequence[Item]) -> List[Sequence[Item]]:
+    def _chunks(self, work: Sequence[Item], workers: Optional[int] = None) -> List[Sequence[Item]]:
+        """Split ``work`` into chunks sized for the *effective* pool.
+
+        ``workers`` is the cpu-capped worker count ``map()`` computed; it
+        must be used instead of ``self.max_workers``, otherwise an
+        affinity-restricted host (say 2 usable cpus under
+        ``max_workers=16``) gets 64 tiny chunks for a 2-process pool --
+        all IPC overhead and stragglers, no extra parallelism.
+        """
+        if workers is None:
+            workers = min(self.max_workers, available_cpus())
         size = self.chunk_size
         if size is None or size < 1:
-            size = max(1, len(work) // (self.max_workers * 4))
+            size = max(1, len(work) // (max(1, workers) * 4))
         return [work[i : i + size] for i in range(0, len(work), size)]
 
 

@@ -1,0 +1,46 @@
+"""``repro.service``: the long-running Timed-SDN update service.
+
+Chronus' batch entry points plan one update at a time; a real
+controller is a *service* -- requests arrive continuously against one
+shared live topology.  This package provides that loop: a deterministic
+virtual-time asyncio runtime (:mod:`repro.service.vclock`), a
+footprint-based admission controller with FIFO queueing and batch
+merging (:mod:`repro.service.admission`), a multi-tenant workload
+generator (:mod:`repro.service.workload`) and the service itself
+(:mod:`repro.service.service`), which plans with the incremental greedy
+engine, verifies with :mod:`repro.validate` and executes through the
+resilient timed executor on a shared DES data plane.
+
+The registered pipeline scenario lives in
+:mod:`repro.experiments.service`; run it with::
+
+    python -m repro.experiments run service
+"""
+
+from repro.service.admission import AdmissionController, Batch
+from repro.service.requests import TERMINAL, RequestState, UpdateRequest
+from repro.service.service import (
+    CellReport,
+    ServiceConfig,
+    UpdateService,
+    run_cell,
+)
+from repro.service.vclock import VirtualTimeLoop, run_virtual
+from repro.service.workload import PodSpec, ServiceWorkload, build_workload
+
+__all__ = [
+    "AdmissionController",
+    "Batch",
+    "CellReport",
+    "PodSpec",
+    "RequestState",
+    "ServiceConfig",
+    "ServiceWorkload",
+    "TERMINAL",
+    "UpdateRequest",
+    "UpdateService",
+    "VirtualTimeLoop",
+    "build_workload",
+    "run_cell",
+    "run_virtual",
+]

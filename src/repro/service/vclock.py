@@ -1,0 +1,74 @@
+"""A virtual-time asyncio event loop for deterministic service runs.
+
+The update service is an ordinary asyncio program -- arrival tasks,
+planner workers, a simulator pump -- but wall-clock scheduling would
+make every run nondeterministic and make a 10-minute workload take 10
+minutes.  :class:`VirtualTimeLoop` replaces the clock: ``loop.time()``
+returns a virtual timestamp, and whenever the loop has no ready
+callbacks it jumps the virtual clock straight to the earliest pending
+timer instead of sleeping.  ``await asyncio.sleep(3600)`` costs
+microseconds of wall time and always lands on exactly the same virtual
+instant, so the whole service run is a deterministic function of the
+workload seed -- the property the lockstep tests pin.
+
+The loop refuses to idle: if there are no ready callbacks *and* no
+timers, real asyncio would block on the selector forever (nothing can
+ever wake a loop with no I/O sources).  In a virtual-time program that
+is always a bug -- a coroutine awaiting an event nobody will set -- so
+``_run_once`` raises instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from typing import Any, Coroutine, TypeVar
+
+T = TypeVar("T")
+
+
+class VirtualTimeLoop(asyncio.SelectorEventLoop):
+    """A selector loop whose clock only moves when timers fire."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._virtual_now = 0.0
+
+    def time(self) -> float:  # noqa: D102 - inherited contract
+        return self._virtual_now
+
+    def _run_once(self) -> None:
+        if not self._ready:
+            # Discard cancelled timers so they cannot pin the clock.
+            while self._scheduled and self._scheduled[0]._cancelled:
+                handle = heapq.heappop(self._scheduled)
+                handle._scheduled = False
+            if self._scheduled:
+                when = self._scheduled[0]._when
+                if when > self._virtual_now:
+                    self._virtual_now = when
+            elif not self._stopping:
+                raise RuntimeError(
+                    "virtual-time loop is idle: no ready callbacks and no "
+                    "timers -- some coroutine awaits an event that will "
+                    "never be set"
+                )
+        super()._run_once()
+
+
+def run_virtual(main: Coroutine[Any, Any, T]) -> T:
+    """Run ``main`` to completion on a fresh :class:`VirtualTimeLoop`.
+
+    The virtual-time equivalent of :func:`asyncio.run`; the loop is
+    closed (and the policy left untouched) before returning.
+    """
+    loop = VirtualTimeLoop()
+    try:
+        asyncio.set_event_loop(loop)
+        return loop.run_until_complete(main)
+    finally:
+        try:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()

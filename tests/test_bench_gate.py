@@ -1,4 +1,4 @@
-"""Unit tests for the bench script's greedy regression gate."""
+"""Unit tests for the bench script's regression gates."""
 
 import importlib.util
 import sys
@@ -161,4 +161,92 @@ class TestOptRegressionGate:
         assert bench.opt_regression(opt_record(100.0, profile=True), history) is None
         assert bench.opt_regression(
             opt_record(100.0), [opt_record(9000.0, quick=True)]
+        ) is None
+
+
+def service_record(updates_per_sec, cpus=4, cells=2, pods=6, requests=80,
+                   conformant=True, deterministic=True, quick=False,
+                   profile=False):
+    entry = {
+        "cpus": cpus,
+        "quick": quick,
+        "service": {
+            "cells": cells,
+            "pods": pods,
+            "requests": requests,
+            "served": requests,
+            "updates_per_sec": updates_per_sec,
+            "latency_p50": 3.5,
+            "latency_p95": 6.2,
+            "conformant": conformant,
+            "deterministic": deterministic,
+        },
+    }
+    if profile:
+        entry["profile"] = {"spans": {}, "counters": {}}
+    return entry
+
+
+class TestServiceRegressionGate:
+    def test_no_history_skips_throughput(self):
+        assert bench.service_regression(service_record(50.0), []) is None
+
+    def test_missing_service_block_skips(self):
+        assert bench.service_regression({"cpus": 4}, []) is None
+
+    def test_within_limit_passes(self):
+        history = [service_record(50.0)]
+        assert bench.service_regression(service_record(40.0), history) is None
+
+    def test_throughput_regression_fails(self):
+        history = [service_record(50.0)]
+        message = bench.service_regression(service_record(30.0), history)
+        assert message is not None
+        assert "upd/s" in message
+
+    def test_best_prior_is_the_baseline(self):
+        history = [service_record(10.0), service_record(50.0)]
+        assert bench.service_regression(service_record(30.0), history) is not None
+
+    def test_nondeterminism_fails_without_history(self):
+        message = bench.service_regression(
+            service_record(50.0, deterministic=False), []
+        )
+        assert message is not None
+        assert "deterministic" in message
+
+    def test_nonconformance_fails_without_history(self):
+        message = bench.service_regression(
+            service_record(50.0, conformant=False), []
+        )
+        assert message is not None
+        assert "conformant" in message
+
+    def test_hard_invariants_fail_even_on_quick_records(self):
+        assert bench.service_regression(
+            service_record(50.0, quick=True, deterministic=False), []
+        ) is not None
+
+    def test_other_machine_class_skipped(self):
+        history = [service_record(50.0, cpus=32)]
+        assert bench.service_regression(
+            service_record(1.0, cpus=4), history
+        ) is None
+
+    def test_other_workload_shape_skipped(self):
+        history = [service_record(50.0, pods=16)]
+        assert bench.service_regression(
+            service_record(1.0, pods=6), history
+        ) is None
+
+    def test_quick_and_profiled_records_skip_throughput(self):
+        history = [service_record(50.0)]
+        assert bench.service_regression(
+            service_record(1.0, quick=True), history
+        ) is None
+        assert bench.service_regression(
+            service_record(1.0, profile=True), history
+        ) is None
+        assert bench.service_regression(
+            service_record(30.0), [service_record(900.0, quick=True)]
         ) is None

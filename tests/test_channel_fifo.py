@@ -150,6 +150,73 @@ class TestChannelFifoUnit:
         assert order == ["second", "first"]
 
 
+class TestStreamFloorPruning:
+    """Regression: ``_last_delivery`` must not grow without bound.
+
+    A long-running service sends on thousands of short-lived streams;
+    before the fix every stream key lived in ``_last_delivery`` forever.
+    Entries whose floor is in the simulator's past can never constrain a
+    future arrival, so sends prune them -- and pruning must not change
+    any delivery time.
+    """
+
+    def test_past_floors_are_pruned_as_clock_advances(self):
+        sim = Simulator()
+        channel = ControlChannel(
+            sim, network_delay=ConstantDelayModel(0.5), rng=random.Random(0)
+        )
+        for i in range(100):
+            channel.send(lambda: None, key=("to", f"v{i}"))
+        assert len(channel._last_delivery) == 100
+        sim.run(until=10.0)  # every floor (0.5) is now in the past
+        channel.send(lambda: None, key=("to", "fresh"))
+        assert set(channel._last_delivery) == {("to", "fresh")}
+
+    def test_live_floors_survive_pruning(self):
+        sim = Simulator()
+        channel = ControlChannel(
+            sim, network_delay=ScriptedDelay([5.0, 0.5, 0.5]), rng=random.Random(0)
+        )
+        channel.send(lambda: None, key=("to", "slow"))  # floor at t=5.0
+        sim.run(until=1.0)
+        channel.send(lambda: None, key=("to", "quick"))  # floor at t=1.5
+        assert ("to", "slow") in channel._last_delivery
+        sim.run(until=2.0)  # quick's floor passes, slow's does not
+        channel.send(lambda: None, key=("to", "other"))
+        assert ("to", "slow") in channel._last_delivery
+        assert ("to", "quick") not in channel._last_delivery
+
+    def test_pruning_preserves_fifo_semantics(self):
+        """A stream pruned and reused behaves like a fresh connection."""
+        sim = Simulator()
+        channel = ControlChannel(
+            sim, network_delay=ScriptedDelay([2.0, 0.1]), rng=random.Random(0)
+        )
+        times = {}
+        channel.send(lambda: times.setdefault("a", sim.now), key=("to", "v1"))
+        sim.run(until=10.0)
+        # The old floor (t=2.0) is long past: the reused key must get its
+        # sampled latency, not be dragged behind the dead stream.
+        delay = channel.send(lambda: times.setdefault("b", sim.now), key=("to", "v1"))
+        sim.run(until=20.0)
+        assert delay == pytest.approx(0.1)
+        assert times["b"] == pytest.approx(10.1)
+
+    def test_reset_clears_all_floors(self):
+        sim = Simulator()
+        channel = ControlChannel(
+            sim, network_delay=ScriptedDelay([3.0, 0.2]), rng=random.Random(0)
+        )
+        channel.send(lambda: None, key=("to", "v1"))
+        assert channel._last_delivery
+        channel.reset()
+        assert channel._last_delivery == {}
+        # Post-reset the stream is a fresh connection even though the old
+        # floor (t=3.0) has not passed yet.
+        delay = channel.send(lambda: None, key=("to", "v1"))
+        assert delay == pytest.approx(0.2)
+
+
 class TestRoundUpdateRegression:
     """The executor-level symptom the FIFO streams exist to prevent."""
 

@@ -153,6 +153,42 @@ def test_store_refuses_duplicate_run_id(tmp_path):
         store.create("fig9", {}, run_id="r1")
 
 
+def test_store_create_claims_directory_atomically(tmp_path):
+    # Regression (TOCTOU): a rival worker that grabbed the directory but
+    # has not written its manifest yet sits exactly in the old
+    # exists-check/mkdir window.  create() must lose cleanly instead of
+    # sharing the directory.
+    store = ArtifactStore(root=tmp_path)
+    store.run_directory("fig9", "r1").mkdir(parents=True)
+    with pytest.raises(StoreError, match="already exists"):
+        store.create("fig9", {}, run_id="r1")
+
+
+def _racing_create(args):
+    root, run_id = args
+    store = ArtifactStore(root=root)
+    try:
+        store.create("fig9", {"who": "racer"}, run_id=run_id)
+        return "won"
+    except StoreError:
+        return "lost"
+
+
+def test_concurrent_create_of_same_run_id_has_one_winner(tmp_path):
+    import multiprocessing
+
+    from repro.runtime import fork_available
+
+    if not fork_available():
+        pytest.skip("fork start method unavailable")
+    context = multiprocessing.get_context("fork")
+    with context.Pool(4) as pool:
+        outcomes = pool.map(_racing_create, [(tmp_path, "raced")] * 8)
+    assert outcomes.count("won") == 1
+    assert outcomes.count("lost") == 7
+    assert ArtifactStore(root=tmp_path).open("fig9", "raced").run_id == "raced"
+
+
 def test_partial_trailing_line_is_truncated(tmp_path):
     store = ArtifactStore(root=tmp_path)
     handle = store.create("fig9", {}, run_id="r1")

@@ -57,6 +57,30 @@ class TestParallelRunnerMechanics:
     def test_run_chunk_helper(self):
         assert _run_chunk(_square, [2, 5]) == [4, 25]
 
+    def test_chunks_sized_from_effective_workers(self, monkeypatch):
+        # Regression: on an affinity-restricted host (2 usable cpus under
+        # max_workers=16) auto-chunking must target the 2-process pool
+        # map() actually builds, not 16 * 4 = 64 slivers.
+        import repro.runtime.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "available_cpus", lambda: 2)
+        runner = ParallelRunner(max_workers=16)
+        work = list(range(64))
+        chunks = runner._chunks(work, min(runner.max_workers, 2))
+        assert len(chunks) == 8  # 64 items / (2 workers * 4)
+        assert [x for chunk in chunks for x in chunk] == work
+        # The default path (workers=None) recomputes the same cap itself.
+        assert len(runner._chunks(work)) == 8
+
+    def test_chunks_default_matches_map_computation(self, monkeypatch):
+        # Unrestricted hosts keep the old sizing: max_workers binds.
+        import repro.runtime.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "available_cpus", lambda: 64)
+        runner = ParallelRunner(max_workers=4)
+        chunks = runner._chunks(list(range(32)))
+        assert len(chunks) == 16  # 32 items / (4 workers * 4) = size 2
+
     def test_available_cpus_positive(self):
         assert available_cpus() >= 1
 

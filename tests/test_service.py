@@ -1,0 +1,289 @@
+"""The update service: determinism, conformance, admission and merging.
+
+The hard guarantee under test is **lockstep determinism**: one seed,
+one request stream, byte-identical cell records across runs -- the
+virtual-time loop makes the whole service a pure function of its seed.
+On top of that: every planned request must verify conformant through
+``repro.validate``, the admission controller must never let overlapping
+footprints run concurrently, and queued same-tenant requests must merge
+into one planning call with earlier intents superseded.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.pipeline.store import canonical_json
+from repro.service import (
+    AdmissionController,
+    ServiceConfig,
+    build_workload,
+    run_cell,
+    run_virtual,
+)
+from repro.service.requests import TERMINAL
+from repro.service.workload import _links_of
+
+SMALL = ServiceConfig(pods=4, pod_size=6, requests=24, mean_interarrival=1.5, seed=11)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return run_cell(SMALL)
+
+
+# --- virtual-time loop -------------------------------------------------
+
+class TestVirtualTimeLoop:
+    def test_sleeps_cost_no_wall_time_and_order_deterministically(self):
+        async def main():
+            log = []
+
+            async def worker(name, delay, period, count):
+                await asyncio.sleep(delay)
+                for _ in range(count):
+                    log.append((name, round(asyncio.get_running_loop().time(), 6)))
+                    await asyncio.sleep(period)
+
+            await asyncio.gather(worker("a", 0.8, 0.6, 3), worker("b", 1.1, 0.6, 3))
+            return log
+
+        first = run_virtual(main())
+        second = run_virtual(main())
+        assert first == second
+        assert first[0] == ("a", 0.8)
+        assert first[1] == ("b", 1.1)
+
+    def test_idle_loop_raises_instead_of_deadlocking(self):
+        async def main():
+            await asyncio.Event().wait()  # nobody will ever set this
+
+        with pytest.raises(RuntimeError, match="idle"):
+            run_virtual(main())
+
+
+# --- workload ----------------------------------------------------------
+
+class TestWorkload:
+    def test_workload_is_seed_deterministic(self):
+        a = build_workload(4, 6, 20, 2.0, seed=5)
+        b = build_workload(4, 6, 20, 2.0, seed=5)
+        assert [p for p in a.pods] == [p for p in b.pods]
+        assert a.requests == b.requests
+        assert build_workload(4, 6, 20, 2.0, seed=6).requests != a.requests
+
+    def test_paths_are_valid_and_distinct(self):
+        workload = build_workload(5, 7, 10, 2.0, seed=3)
+        for pod in workload.pods:
+            assert pod.path_a != pod.path_b
+            assert pod.path_a[0] == pod.path_b[0] == pod.source
+            assert pod.path_a[-1] == pod.path_b[-1] == pod.destination
+            for path in (pod.path_a, pod.path_b):
+                for src, dst in _links_of(path):
+                    assert workload.network.has_link(src, dst)
+
+    def test_paired_pods_share_a_crossover_link(self):
+        workload = build_workload(4, 6, 10, 2.0, seed=3)
+        p0, p1 = workload.pods[0], workload.pods[1]
+        assert p0.footprint & p1.footprint
+        p2, p3 = workload.pods[2], workload.pods[3]
+        assert not (p0.footprint | p1.footprint) & (p2.footprint | p3.footprint)
+
+    def test_disjoint_without_sharing(self):
+        workload = build_workload(4, 6, 10, 2.0, seed=3, share_links=False)
+        for i, pod in enumerate(workload.pods):
+            for other in workload.pods[i + 1:]:
+                assert not pod.footprint & other.footprint
+
+
+# --- admission controller ----------------------------------------------
+
+def _fp(*links):
+    return frozenset(links)
+
+
+class TestAdmission:
+    def test_disjoint_requests_admit_immediately(self):
+        ctrl = AdmissionController()
+        d1, b1 = ctrl.offer("r1", _fp(("a", "b")))
+        d2, b2 = ctrl.offer("r2", _fp(("c", "d")))
+        assert (d1, d2) == ("admitted", "admitted")
+        assert b1.token != b2.token
+
+    def test_conflicting_request_queues_fifo(self):
+        ctrl = AdmissionController()
+        _, batch = ctrl.offer("r1", _fp(("a", "b")))
+        assert ctrl.offer("r2", _fp(("a", "b"), ("b", "c")))[0] == "queued"
+        assert ctrl.queue_depth == 1
+        ready = ctrl.release(batch.token)
+        assert [b.items for b in ready] == [["r2"]]
+        assert ctrl.queue_depth == 0
+
+    def test_queued_overlap_prevents_leapfrogging(self):
+        # r3 conflicts only with *queued* r2; admitting it would reorder
+        # overlapping requests, so it must queue behind r2.
+        ctrl = AdmissionController()
+        _, batch = ctrl.offer("r1", _fp(("a", "b")))
+        ctrl.offer("r2", _fp(("a", "b"), ("x", "y")))
+        decision, _ = ctrl.offer("r3", _fp(("x", "y")))
+        assert decision == "queued"
+        ready = ctrl.release(batch.token)
+        assert [b.items for b in ready] == [["r2", "r3"]]
+
+    def test_release_merges_overlapping_queue_groups(self):
+        ctrl = AdmissionController()
+        _, batch = ctrl.offer("r1", _fp(("a", "b"), ("c", "d")))
+        ctrl.offer("r2", _fp(("a", "b")))
+        ctrl.offer("r3", _fp(("c", "d")))
+        ctrl.offer("r4", _fp(("a", "b")))
+        ready = ctrl.release(batch.token)
+        # r2 and r4 overlap each other -> one merged batch; r3 only ever
+        # overlapped the finished blocker -> dispatched independently.
+        assert [b.items for b in ready] == [["r2", "r4"], ["r3"]]
+        assert ready[0].footprint == _fp(("a", "b"))
+        assert ready[1].footprint == _fp(("c", "d"))
+
+    def test_release_keeps_still_blocked_groups_queued(self):
+        ctrl = AdmissionController()
+        _, b1 = ctrl.offer("r1", _fp(("a", "b")))
+        _, b2 = ctrl.offer("r2", _fp(("c", "d")))
+        ctrl.offer("r3", _fp(("a", "b")))
+        ctrl.offer("r4", _fp(("c", "d")))
+        ready = ctrl.release(b1.token)
+        assert [b.items for b in ready] == [["r3"]]  # r4 still blocked by r2
+        assert ctrl.queue_depth == 1
+
+    def test_full_queue_rejects(self):
+        ctrl = AdmissionController(max_queue=1)
+        ctrl.offer("r1", _fp(("a", "b")))
+        assert ctrl.offer("r2", _fp(("a", "b")))[0] == "queued"
+        assert ctrl.offer("r3", _fp(("a", "b")))[0] == "rejected"
+        assert ctrl.rejected == 1
+
+    def test_reset_clears_everything(self):
+        ctrl = AdmissionController()
+        ctrl.offer("r1", _fp(("a", "b")))
+        ctrl.offer("r2", _fp(("a", "b")))
+        ctrl.reset()
+        assert ctrl.queue_depth == 0
+        assert ctrl.in_flight_count == 0
+        assert ctrl.offer("r3", _fp(("a", "b")))[0] == "admitted"
+
+
+# --- the service end-to-end --------------------------------------------
+
+class TestServiceLockstep:
+    def test_same_seed_is_byte_identical(self, small_report):
+        again = run_cell(SMALL)
+        assert canonical_json(small_report.to_record()) == canonical_json(
+            again.to_record()
+        )
+
+    def test_different_seed_differs(self, small_report):
+        other = run_cell(ServiceConfig(
+            pods=4, pod_size=6, requests=24, mean_interarrival=1.5, seed=12
+        ))
+        assert canonical_json(other.to_record()) != canonical_json(
+            small_report.to_record()
+        )
+
+    def test_record_is_json_round_trippable(self, small_report):
+        record = small_report.to_record()
+        assert json.loads(canonical_json(record)) == json.loads(
+            canonical_json(json.loads(json.dumps(record)))
+        )
+
+
+class TestServiceOutcomes:
+    def test_every_request_reaches_a_terminal_status(self, small_report):
+        assert len(small_report.requests) == SMALL.requests
+        for request in small_report.requests:
+            assert request["status"] in TERMINAL
+
+    def test_all_planned_requests_verified_conformant(self, small_report):
+        executed = [r for r in small_report.requests if r["status"] == "completed"]
+        assert executed, "workload produced no completed updates"
+        for request in executed:
+            assert request["conformant"] is True
+        assert small_report.summary["conformant_all"] is True
+
+    def test_no_traffic_blackholed(self, small_report):
+        assert small_report.summary["blackholed"] == 0.0
+
+    def test_metrics_are_present_and_sane(self, small_report):
+        summary = small_report.summary
+        assert summary["requests"] == SMALL.requests
+        assert summary["completed"] > 0
+        assert summary["virtual_updates_per_sec"] > 0
+        latency = summary["latency"]
+        assert latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+        assert summary["queue"]["max"] >= 0
+
+    def test_same_tenant_burst_merges_and_supersedes(self):
+        # One pod, near-simultaneous requests: the first admits, the rest
+        # queue, merge into one batch, and all but the last supersede.
+        report = run_cell(ServiceConfig(
+            pods=1,
+            pod_size=6,
+            requests=6,
+            mean_interarrival=0.05,
+            seed=2,
+            share_links=False,
+        ))
+        statuses = [r["status"] for r in report.requests]
+        assert statuses[0] == "completed"
+        assert "superseded" in statuses
+        assert report.summary["merged_batches"] >= 1
+        merged = [r for r in report.requests if r["status"] == "superseded"]
+        for request in merged:
+            assert request["batch"] is not None
+
+    def test_tiny_queue_rejects_overflow(self):
+        report = run_cell(ServiceConfig(
+            pods=1,
+            pod_size=6,
+            requests=8,
+            mean_interarrival=0.05,
+            seed=2,
+            max_queue=1,
+            share_links=False,
+        ))
+        assert report.summary["rejected"] > 0
+        # Rejections never corrupt later requests: everything else is
+        # still served conformantly.
+        assert report.summary["conformant_all"] is True
+        assert report.summary["completed"] >= 1
+
+
+class TestScenarioRegistration:
+    def test_service_scenario_is_registered(self):
+        from repro.pipeline.scenario import get_scenario
+
+        scenario = get_scenario("service")
+        params = scenario.params_with()
+        items = scenario.items(params)
+        assert [item["key"] for item in items] == [
+            f"cell{i}" for i in range(int(params["cells"]))
+        ]
+
+    def test_scenario_cell_matches_direct_run(self):
+        from repro.pipeline.context import WorkerContext
+        from repro.pipeline.scenario import get_scenario
+
+        scenario = get_scenario("service")
+        params = scenario.params_with(
+            {"cells": 1, "pods": 3, "pod_size": 5, "requests": 8}
+        )
+        item = scenario.items(params)[0]
+        record = scenario.evaluate(item, params, WorkerContext())
+        direct = run_cell(ServiceConfig(
+            pods=3,
+            pod_size=5,
+            requests=8,
+            mean_interarrival=float(params["mean_interarrival"]),
+            seed=int(item["seed"]),
+            verify=True,
+        )).to_record()
+        direct["key"] = item["key"]
+        assert canonical_json(record) == canonical_json(direct)
