@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-full validate validate-fast profile faults pipeline-smoke trace-smoke service-smoke
+.PHONY: test test-fast bench bench-full validate validate-fast profile faults pipeline-smoke trace-smoke service-smoke planner-smoke
 
 test:            ## full tier-1 suite + quick conformance gate
 	$(PYTHON) -m pytest -x -q
@@ -36,3 +36,6 @@ trace-smoke:     ## pool run with a SQLite sink; gate on worker spans reaching i
 
 service-smoke:   ## burst through the update service; gate on terminal+conformant+lockstep
 	$(PYTHON) scripts/service_smoke.py
+
+planner-smoke:   ## planner registry gate: all five schemes register, dispatch and verify
+	$(PYTHON) scripts/planner_smoke.py

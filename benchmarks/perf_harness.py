@@ -27,6 +27,9 @@ What it measures:
   planning, verification, resilient execution on the shared DES plane):
   wall-clock updates/sec plus the virtual p50/p95 latency, with
   conformance and lockstep-determinism flags.
+* **aug** -- strict greedy vs. the epsilon-augmented planner over one
+  seeded batch: planning wall clock and completed-plan counts (what the
+  transient capacity headroom buys; DESIGN.md §15).
 
 Timings reuse :func:`conftest.timed` / :func:`conftest.run_once` so the
 plain ``[bench]`` lines appear in any environment.
@@ -345,6 +348,55 @@ def bench_service(
     }
 
 
+def bench_aug(
+    switch_count: int = 30,
+    instances: int = 40,
+    epsilon: float = 1.0,
+    base_seed: int = 4,
+) -> Dict[str, object]:
+    """Strict greedy vs. epsilon-augmented greedy over one seeded batch.
+
+    AUG (DESIGN.md §15) plans on a copy of the network with
+    ``capacity * (1 + epsilon)`` transient headroom; the row records what
+    that buys on the mixed workload: total planning wall clock for both
+    planners and how many instances each completes end to end
+    (``feasible`` plans -- the strict greedy stalls into best-effort on
+    the hard ones, the augmented greedy trades bounded transient overload
+    for completion).
+    """
+    from repro.experiments.sweep import sweep_seed
+    from repro.updates.registry import get_planner
+
+    chronus = get_planner("chronus")
+    aug = get_planner("aug")
+    batch = [
+        mixed_instance(switch_count, sweep_seed(base_seed, switch_count, index))
+        for index in range(instances)
+    ]
+
+    def plan_all(planner, **options):
+        return [planner.plan(instance, **options) for instance in batch]
+
+    strict, strict_s = timed(plan_all, chronus)
+    relaxed, relaxed_s = timed(plan_all, aug, epsilon=epsilon)
+    strict_done = sum(1 for r in strict if r.feasible)
+    relaxed_done = sum(1 for r in relaxed if r.feasible)
+    print(
+        f"[bench] aug eps={epsilon:g} ({instances}x{switch_count}sw): "
+        f"strict={strict_s:.3f}s ({strict_done}/{instances} complete) "
+        f"augmented={relaxed_s:.3f}s ({relaxed_done}/{instances} complete)"
+    )
+    return {
+        "switches": switch_count,
+        "instances": instances,
+        "epsilon": epsilon,
+        "strict_seconds": round(strict_s, 4),
+        "augmented_seconds": round(relaxed_s, 4),
+        "strict_complete": strict_done,
+        "augmented_complete": relaxed_done,
+    }
+
+
 def collect(quick: bool = False, workers: int = 4) -> Dict[str, object]:
     """Run every benchmark; return one BENCH_sweep.json record."""
     if quick:
@@ -365,6 +417,7 @@ def collect(quick: bool = False, workers: int = 4) -> Dict[str, object]:
             "service": bench_service(
                 cells=1, pods=4, pod_size=6, requests=16
             ),
+            "aug": bench_aug(switch_count=14, instances=20),
         }
     else:
         record = {
@@ -376,6 +429,7 @@ def collect(quick: bool = False, workers: int = 4) -> Dict[str, object]:
             "sweep": bench_sweep(workers=workers),
             "memory": {"greedy": bench_greedy_memory()},
             "service": bench_service(),
+            "aug": bench_aug(),
         }
     return record
 

@@ -37,7 +37,12 @@ from repro.core.greedy import GreedyResult, greedy_schedule
 from repro.core.tree import FeasibilityResult, check_update_feasibility
 from repro.core.optimal import OptimalResult, optimal_schedule
 from repro.core.mutp import build_mutp_model, solve_mutp
-from repro.core.serialization import schedule_from_json, schedule_to_json
+from repro.core.serialization import (
+    plan_from_json,
+    plan_to_json,
+    schedule_from_json,
+    schedule_to_json,
+)
 from repro.core.multiflow import (
     MultiFlowReport,
     MultiFlowResult,
@@ -82,4 +87,6 @@ __all__ = [
     "validate_multiflow",
     "schedule_to_json",
     "schedule_from_json",
+    "plan_to_json",
+    "plan_from_json",
 ]

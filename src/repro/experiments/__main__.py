@@ -43,6 +43,7 @@ from repro.pipeline.scenario import (
     get_scenario,
 )
 from repro.pipeline.store import ArtifactStore, StoreError
+from repro.updates.registry import UnknownSchemeError, planners_for
 
 #: The battery ``python -m repro.experiments`` (no arguments) runs, in the
 #: order the paper presents them.
@@ -222,8 +223,32 @@ def _cmd_list() -> int:
     return 0
 
 
+def _validate_schemes(args: argparse.Namespace) -> None:
+    """Reject unregistered scheme names before any compute starts.
+
+    ``--set schemes=chrnous`` used to die minutes later with a
+    ``KeyError`` inside a worker; resolving the materialised params
+    against the planner registry up front turns the typo into an exit-2
+    parse error listing the registered names.  Comma-separated shorthand
+    (``--set schemes=chronus,aug``) is normalised to a list here so the
+    scenario sees the same shape a JSON override would produce.
+    """
+    scenario = get_scenario(args.scenario)
+    overrides = dict(args.overrides)
+    value = overrides.get("schemes")
+    if isinstance(value, str):
+        overrides["schemes"] = [name for name in value.split(",") if name]
+        args.overrides = list(overrides.items())
+    params = scenario.params_with(overrides=overrides, paper=args.paper)
+    schemes = params.get("schemes")
+    if schemes is not None:
+        planners_for(tuple(schemes))
+
+
 def _cmd_run(args: argparse.Namespace, resume: bool) -> int:
     ctx = _context(args)
+    if not resume:
+        _validate_schemes(args)
     try:
         stored = run_to_store(
             args.scenario,
@@ -307,6 +332,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 0
         return _legacy(argv)
     except UnknownScenarioError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except UnknownSchemeError as exc:
         print(str(exc), file=sys.stderr)
         return 2
     except StoreError as exc:

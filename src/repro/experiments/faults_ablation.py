@@ -38,17 +38,18 @@ from repro.controller.resilient import (
     perform_resilient_two_phase,
     perform_resilient_update,
 )
-from repro.core.greedy import greedy_schedule
 from repro.core.instance import UpdateInstance
-from repro.core.schedule import UpdateSchedule, schedule_from_rounds
+from repro.core.schedule import UpdateSchedule
 from repro.core.verdict import Verdict
 from repro.experiments.sweep import mixed_instance, sweep_seed
 from repro.faults import FaultPlan, FaultyChannel, severity_spec
 from repro.simulator.dataplane import build_dataplane, install_config
 from repro.simulator.engine import Simulator
-from repro.updates.order_replacement import minimize_rounds
+from repro.updates.registry import ROUNDS, TWO_PHASE, get_planner, planners_for
 from repro.validate import verify_schedule, verify_two_phase
 
+#: Default ablation trio; any registered scheme (e.g. ``aug``) can join
+#: via ``schemes=`` / ``--set schemes=``.
 SCHEMES = ("chronus", "or", "tp")
 
 #: Fault-plan seed separator so the plan's streams never mirror the
@@ -64,7 +65,7 @@ class FaultRunRecord:
     """One scheme's outcome on one faulted instance.
 
     Attributes:
-        scheme: ``"chronus"`` / ``"or"`` / ``"tp"``.
+        scheme: The registered scheme name that produced this run.
         severity: Fault severity of this run.
         seed: The instance seed (``sweep_seed`` contract).
         completed: Every switch acknowledged and the update finished.
@@ -211,6 +212,7 @@ def run_faults_ablation(
     max_retries: int = 3,
     drift_bound: float = 0.0,
     or_node_budget: int = 20_000,
+    aug_epsilon: float = 0.0,
     progress: Optional[Callable[[FaultRunRecord], None]] = None,
 ) -> FaultsAblationResult:
     """Sweep every scheme over every severity on seeded reroute instances.
@@ -222,7 +224,8 @@ def run_faults_ablation(
             paired.
         switch_count: Network size of every instance.
         base_seed: Base of the ``sweep_seed`` contract.
-        schemes: Subset of ``("chronus", "or", "tp")``.
+        schemes: Registered scheme names (see
+            :func:`repro.updates.registry.available_schemes`).
         time_unit: True seconds per schedule step.
         deadline_steps: Abort-and-roll-back deadline, in steps after the
             update starts.
@@ -230,11 +233,10 @@ def run_faults_ablation(
         drift_bound: Clock-drift magnitude bound in seconds (0 keeps every
             realised apply on the integer grid, so the oracle is exact).
         or_node_budget: Branch-and-bound budget of OR's round minimiser.
+        aug_epsilon: AUG's transient capacity headroom.
         progress: Called with each finished :class:`FaultRunRecord`.
     """
-    unknown = set(schemes) - set(SCHEMES)
-    if unknown:
-        raise ValueError(f"unknown scheme(s): {sorted(unknown)}")
+    planners_for(schemes)  # fail fast on unregistered names
     result = FaultsAblationResult(
         severities=tuple(severities),
         schemes=tuple(schemes),
@@ -243,7 +245,7 @@ def run_faults_ablation(
     for index in range(instances_per_point):
         seed = sweep_seed(base_seed, switch_count, index)
         instance = mixed_instance(switch_count, seed)
-        plans = _plan_schemes(instance, schemes, or_node_budget)
+        plans = _plan_schemes(instance, schemes, or_node_budget, aug_epsilon)
         for severity in severities:
             for scheme in schemes:
                 record = _run_one(
@@ -264,20 +266,23 @@ def run_faults_ablation(
 
 
 def _plan_schemes(
-    instance: UpdateInstance, schemes: Sequence[str], or_node_budget: int
+    instance: UpdateInstance,
+    schemes: Sequence[str],
+    or_node_budget: int,
+    aug_epsilon: float = 0.0,
 ) -> Dict[str, Optional[UpdateSchedule]]:
-    """Plan each scheme once per instance (plans are severity-independent)."""
-    plans: Dict[str, Optional[UpdateSchedule]] = {}
-    for scheme in schemes:
-        if scheme == "chronus":
-            plans[scheme] = greedy_schedule(instance).schedule
-        elif scheme == "or":
-            plans[scheme] = schedule_from_rounds(
-                minimize_rounds(instance, node_budget=or_node_budget).rounds
-            )
-        else:  # tp plans nothing: install shadow rules, flip the ingress
-            plans[scheme] = None
-    return plans
+    """Plan each scheme once per instance (plans are severity-independent).
+
+    Each planner's :meth:`~repro.updates.registry.Planner.fault_schedule`
+    decides its nominal schedule; ``None`` means the scheme plans nothing
+    up front (two-phase: install shadow rules, flip the ingress).
+    """
+    return {
+        planner.name: planner.fault_schedule(
+            instance, node_budget=or_node_budget, epsilon=aug_epsilon
+        )
+        for planner in planners_for(schemes)
+    }
 
 
 def _run_one(
@@ -324,7 +329,30 @@ def _run_one(
 
     retry_timeout = 4 * time_unit
     trace_holder: List[ResilientTrace] = []
-    if scheme == "chronus":
+    planner = get_planner(scheme)
+    if planner.executor == TWO_PHASE:
+        trace_holder.append(
+            perform_resilient_two_phase(
+                controller, plane, instance, start_true + 3 * time_unit,
+                retry_timeout=retry_timeout, max_retries=max_retries,
+                deadline=deadline_true,
+            )
+        )
+    elif planner.executor == ROUNDS:
+        assert schedule is not None
+        round_schedule = schedule
+        sim.schedule_at(
+            start_true,
+            lambda: trace_holder.append(
+                perform_resilient_update(
+                    controller, plane, instance, round_schedule,
+                    strategy="rounds", time_unit=time_unit,
+                    retry_timeout=retry_timeout, max_retries=max_retries,
+                    deadline=deadline_true,
+                )
+            ),
+        )
+    else:
         assert schedule is not None
         trace_holder.append(
             perform_resilient_update(
@@ -334,30 +362,6 @@ def _run_one(
                 deadline=deadline_true,
             )
         )
-    elif scheme == "or":
-        assert schedule is not None
-        or_schedule = schedule
-        sim.schedule_at(
-            start_true,
-            lambda: trace_holder.append(
-                perform_resilient_update(
-                    controller, plane, instance, or_schedule,
-                    strategy="rounds", time_unit=time_unit,
-                    retry_timeout=retry_timeout, max_retries=max_retries,
-                    deadline=deadline_true,
-                )
-            ),
-        )
-    elif scheme == "tp":
-        trace_holder.append(
-            perform_resilient_two_phase(
-                controller, plane, instance, start_true + 3 * time_unit,
-                retry_timeout=retry_timeout, max_retries=max_retries,
-                deadline=deadline_true,
-            )
-        )
-    else:
-        raise ValueError(f"unknown scheme {scheme!r}")
 
     # The deadline guarantees the run resolves (finish or abort) by
     # ``deadline_true``; the extra margin lets rollback messages land and
@@ -371,7 +375,7 @@ def _run_one(
     verdict: Optional[Verdict] = None
     off_grid = False
     if completed:
-        if scheme == "tp":
+        if planner.two_phase:
             flip_step, off_grid = _to_step(
                 trace.applied.get(instance.source), start_true, time_unit, t0
             )
@@ -463,9 +467,7 @@ def _to_step(
 
 def _scenario_items(params: Mapping) -> List[Dict[str, object]]:
     """One item per (instance index, severity, scheme), legacy loop order."""
-    unknown = set(params["schemes"]) - set(SCHEMES)
-    if unknown:
-        raise ValueError(f"unknown scheme(s): {sorted(unknown)}")
+    planners_for(params["schemes"])  # fail fast on unregistered names
     base_seed = int(params["base_seed"])
     switch_count = int(params["switch_count"])
     return [
@@ -493,7 +495,12 @@ def _scenario_evaluate(item: Mapping, params: Mapping, ctx) -> Dict[str, object]
 
     scheme = str(item["scheme"])
     instance = mixed_instance(int(params["switch_count"]), int(item["seed"]))
-    plan = _plan_schemes(instance, [scheme], int(params["or_node_budget"]))[scheme]
+    plan = _plan_schemes(
+        instance,
+        [scheme],
+        int(params["or_node_budget"]),
+        float(params.get("aug_epsilon", 0.0) or 0.0),
+    )[scheme]
     record = _run_one(
         scheme,
         instance,
@@ -547,6 +554,7 @@ def _register_scenario():
                 "max_retries": 3,
                 "drift_bound": 0.0,
                 "or_node_budget": 20_000,
+                "aug_epsilon": 0.0,
             },
             items=_scenario_items,
             evaluate=_scenario_evaluate,

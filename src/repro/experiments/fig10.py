@@ -16,21 +16,21 @@ byte-for-byte -- resume, however, preserves completed records verbatim.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.timeseries import render_table
-from repro.core.greedy import greedy_schedule
 from repro.core.instance import segmented_instance
-from repro.core.optimal import optimal_schedule
 from repro.pipeline.context import RunContext, WorkerContext
 from repro.pipeline.runner import run_in_memory
 from repro.pipeline.scenario import Scenario, register
-from repro.updates.order_replacement import minimize_rounds
+from repro.updates.registry import DEFAULT_SCHEMES, get_planner, planners_for
 
 
-SCHEMES = ("chronus", "or", "opt")
+#: The legacy record columns (``*_elapsed`` / ``*_proven``) are always
+#: emitted for this trio so stored runs resume cleanly; additional
+#: registered schemes add their own columns when selected.
+SCHEMES = DEFAULT_SCHEMES
 
 
 @dataclass(frozen=True)
@@ -44,46 +44,36 @@ class _TimingItem:
     schemes: Sequence[str] = SCHEMES
 
 
-@dataclass(frozen=True)
-class _TimingResult:
-    chronus_elapsed: float
-    or_elapsed: float
-    or_proven: bool
-    opt_elapsed: float
-    opt_proven: bool
+def _record_schemes(selected: Sequence[str]) -> List[str]:
+    """Scheme column order: the legacy trio first, then extra selections."""
+    return list(dict.fromkeys((*SCHEMES, *selected)))
 
 
-def _time_one(item: _TimingItem) -> _TimingResult:
+def _time_one(item: _TimingItem) -> Dict[str, object]:
     """Worker: time the selected schedulers on one instance.
 
     Every run of a size is always measured (the serial loop short-circuits
     once a scheme blows the cutoff, but the aggregation below reproduces
     that outcome from the per-run proofs, so the reported numbers match).
-    Deselected schemes report zero elapsed and a failed proof.
+    Deselected schemes report zero elapsed and a failed proof.  Each
+    planner's :meth:`~repro.updates.registry.Planner.timed_run` decides
+    its measurement: exact searches take the cutoff as an anytime budget
+    and report their own elapsed/proven pair, heuristics are wall-clocked.
     """
     instance = segmented_instance(
         item.switch_count, seed=item.seed, segments=item.segments
     )
-    chronus_elapsed = 0.0
-    if "chronus" in item.schemes:
-        started = time.monotonic()
-        greedy_schedule(instance)
-        chronus_elapsed = time.monotonic() - started
-    or_elapsed, or_proven = 0.0, False
-    if "or" in item.schemes:
-        or_result = minimize_rounds(instance, time_budget=item.cutoff)
-        or_elapsed, or_proven = or_result.elapsed, or_result.proven
-    opt_elapsed, opt_proven = 0.0, False
-    if "opt" in item.schemes:
-        opt_result = optimal_schedule(instance, time_budget=item.cutoff)
-        opt_elapsed, opt_proven = opt_result.elapsed, opt_result.proven
-    return _TimingResult(
-        chronus_elapsed=chronus_elapsed,
-        or_elapsed=or_elapsed,
-        or_proven=or_proven,
-        opt_elapsed=opt_elapsed,
-        opt_proven=opt_proven,
-    )
+    fields: Dict[str, object] = {}
+    for name in _record_schemes(item.schemes):
+        planner = get_planner(name)
+        if name in item.schemes:
+            elapsed, proven = planner.timed_run(instance, item.cutoff)
+        else:
+            elapsed, proven = 0.0, False
+        fields[f"{name}_elapsed"] = elapsed
+        if planner.exact:
+            fields[f"{name}_proven"] = proven
+    return fields
 
 
 @dataclass
@@ -93,7 +83,7 @@ class Fig10Result:
     cutoff: float
 
     def render(self) -> str:
-        schemes = [s for s in SCHEMES if s in self.seconds]
+        schemes = list(self.seconds)
         rows = []
         for index, count in enumerate(self.switch_counts):
             row: List[object] = [count]
@@ -116,9 +106,7 @@ def _segments_for(count: int) -> int:
 
 
 def _items(params: Mapping) -> List[Dict[str, object]]:
-    unknown = set(params["schemes"]) - set(SCHEMES)
-    if unknown:
-        raise ValueError(f"unknown Fig. 10 schemes {sorted(unknown)!r}")
+    planners_for(params["schemes"])  # fail fast on unregistered names
     base_seed = int(params["base_seed"])
     return [
         {
@@ -134,7 +122,7 @@ def _items(params: Mapping) -> List[Dict[str, object]]:
 
 
 def _evaluate(item: Mapping, params: Mapping, ctx: WorkerContext) -> Dict[str, object]:
-    result = _time_one(
+    fields = _time_one(
         _TimingItem(
             switch_count=int(item["switch_count"]),
             seed=int(item["seed"]),
@@ -148,11 +136,7 @@ def _evaluate(item: Mapping, params: Mapping, ctx: WorkerContext) -> Dict[str, o
         "switch_count": item["switch_count"],
         "run": item["run"],
         "seed": item["seed"],
-        "chronus_elapsed": result.chronus_elapsed,
-        "or_elapsed": result.or_elapsed,
-        "or_proven": result.or_proven,
-        "opt_elapsed": result.opt_elapsed,
-        "opt_proven": result.opt_proven,
+        **fields,
     }
 
 
@@ -160,24 +144,22 @@ def _aggregate(records: Sequence[Mapping], params: Mapping) -> Fig10Result:
     schemes = tuple(params["schemes"])
     counts = [int(count) for count in params["switch_counts"]]
     seconds: Dict[str, List[Optional[float]]] = {
-        scheme: [] for scheme in SCHEMES if scheme in schemes
+        scheme: [] for scheme in _record_schemes(schemes) if scheme in schemes
     }
     for count in counts:
         per_size = [r for r in records if int(r["switch_count"]) == count]
         runs = max(1, len(per_size))
-        if "chronus" in seconds:
-            chronus_total = sum(float(r["chronus_elapsed"]) for r in per_size)
-            seconds["chronus"].append(chronus_total / runs)
-        if "or" in seconds:
-            or_value: Optional[float] = None
-            if per_size and all(r["or_proven"] for r in per_size):
-                or_value = sum(float(r["or_elapsed"]) for r in per_size) / runs
-            seconds["or"].append(or_value)
-        if "opt" in seconds:
-            opt_value: Optional[float] = None
-            if per_size and all(r["opt_proven"] for r in per_size):
-                opt_value = sum(float(r["opt_elapsed"]) for r in per_size) / runs
-            seconds["opt"].append(opt_value)
+        for scheme in seconds:
+            if get_planner(scheme).exact:
+                # Anytime search: the mean counts only when every run
+                # finished with a proof within the cutoff.
+                value: Optional[float] = None
+                if per_size and all(r[f"{scheme}_proven"] for r in per_size):
+                    value = sum(float(r[f"{scheme}_elapsed"]) for r in per_size) / runs
+                seconds[scheme].append(value)
+            else:
+                total = sum(float(r[f"{scheme}_elapsed"]) for r in per_size)
+                seconds[scheme].append(total / runs)
     return Fig10Result(
         switch_counts=counts, seconds=seconds, cutoff=float(params["cutoff"])
     )
@@ -264,9 +246,10 @@ def run_fig10(
     concurrent workers do contend for cores -- use parallel timing for the
     shape of the curves, serial for publishable absolute numbers.
 
-    ``schemes`` restricts which schedulers run (subset of ``SCHEMES``);
-    the paper-scale ``fig10-greedy`` preset uses ``("chronus",)`` to get
-    the 6K-switch Chronus point without hours of exact-solver cutoffs.
+    ``schemes`` restricts which schedulers run (any registered planner
+    names); the paper-scale ``fig10-greedy`` preset uses ``("chronus",)``
+    to get the 6K-switch Chronus point without hours of exact-solver
+    cutoffs.
     """
     return run_in_memory(
         "fig10",

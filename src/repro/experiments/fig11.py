@@ -19,26 +19,36 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.stats import cdf_points, percentile
 from repro.analysis.timeseries import render_table
-from repro.core.greedy import greedy_schedule
-from repro.core.optimal import optimal_schedule
 from repro.core.instance import segmented_instance
 from repro.pipeline.context import RunContext, WorkerContext
 from repro.pipeline.runner import run_in_memory
 from repro.pipeline.scenario import Scenario, register
+from repro.updates.registry import planners_for
 
 #: Candidate indices evaluated per requested instance before giving up.
 ATTEMPT_FACTOR = 10
 
+#: The default CDF pair; ``--set schemes=aug,opt`` compares any two
+#: registered planners instead.
+DEFAULT_PAIR = ("chronus", "opt")
+
 
 @dataclass
 class Fig11Result:
+    """Paired makespan samples of the two compared schemes.
+
+    ``chronus_times``/``opt_times`` hold the first/second scheme's sample
+    (named for the default pair; ``schemes`` carries the actual labels).
+    """
+
     chronus_times: List[int]
     opt_times: List[int]
+    schemes: Tuple[str, str] = DEFAULT_PAIR
 
     def cdfs(self) -> Dict[str, List[Tuple[float, float]]]:
         return {
-            "chronus": cdf_points([float(v) for v in self.chronus_times]),
-            "opt": cdf_points([float(v) for v in self.opt_times]),
+            self.schemes[0]: cdf_points([float(v) for v in self.chronus_times]),
+            self.schemes[1]: cdf_points([float(v) for v in self.opt_times]),
         }
 
     def render(self) -> str:
@@ -49,25 +59,31 @@ class Fig11Result:
         rows = []
         for value in times:
             row: List[object] = [int(value)]
-            for scheme in ("chronus", "opt"):
+            for scheme in self.schemes:
                 prob = max(
                     (p for v, p in cdfs[scheme] if v <= value), default=0.0
                 )
                 row.append(f"{prob:.2f}")
             rows.append(row)
         table = render_table(
-            ["time units", "chronus CDF", "opt CDF"],
+            ["time units"] + [f"{scheme} CDF" for scheme in self.schemes],
             rows,
             title="Fig. 11 -- CDF of the update time",
         )
         summary = (
-            f"\np95: chronus={percentile([float(v) for v in self.chronus_times], 95):.0f}"
-            f" opt={percentile([float(v) for v in self.opt_times], 95):.0f} time units"
+            f"\np95: {self.schemes[0]}="
+            f"{percentile([float(v) for v in self.chronus_times], 95):.0f}"
+            f" {self.schemes[1]}="
+            f"{percentile([float(v) for v in self.opt_times], 95):.0f} time units"
         )
         return table + summary
 
 
 def _items(params: Mapping) -> List[Dict[str, object]]:
+    schemes = tuple(params.get("schemes", DEFAULT_PAIR))
+    planners_for(schemes)  # fail fast on unregistered names
+    if len(schemes) != 2:
+        raise ValueError(f"Fig. 11 compares exactly two schemes, got {schemes!r}")
     base_seed = int(params["base_seed"])
     switch_count = int(params["switch_count"])
     attempts = int(params["instances"]) * ATTEMPT_FACTOR
@@ -83,41 +99,43 @@ def _items(params: Mapping) -> List[Dict[str, object]]:
 
 
 def _evaluate(item: Mapping, params: Mapping, ctx: WorkerContext) -> Dict[str, object]:
-    """One candidate: ``chronus``/``opt`` makespans, or nulls when the
-    instance does not contribute (greedy infeasible / OPT empty-handed)."""
+    """One candidate: both schemes' makespans, or nulls when the instance
+    does not contribute (a ``makespan_sample`` returned ``None``)."""
+    schemes = tuple(params.get("schemes", DEFAULT_PAIR))
     instance = segmented_instance(int(item["switch_count"]), seed=int(item["seed"]))
     record: Dict[str, object] = {
         "key": item["key"],
         "index": item["index"],
         "seed": item["seed"],
-        "chronus": None,
-        "opt": None,
+        **{scheme: None for scheme in schemes},
     }
-    greedy = greedy_schedule(instance)
-    if not greedy.feasible:
-        return record
-    opt = optimal_schedule(instance, time_budget=float(params["opt_budget"]))
-    if opt.schedule is None:
-        return record
-    record["chronus"] = greedy.schedule.makespan
-    record["opt"] = opt.schedule.makespan
+    samples: Dict[str, int] = {}
+    for planner in planners_for(schemes):
+        value = planner.makespan_sample(instance, **planner.sweep_options(params))
+        if value is None:
+            return record  # non-contributing: every scheme stays null
+        samples[planner.name] = value
+    record.update(samples)
     return record
 
 
-def _contributors(records: Sequence[Mapping]) -> List[Mapping]:
+def _contributors(records: Sequence[Mapping], lead_scheme: str) -> List[Mapping]:
     ordered = sorted(records, key=lambda r: int(r["index"]))
-    return [r for r in ordered if r["chronus"] is not None]
+    return [r for r in ordered if r[lead_scheme] is not None]
 
 
 def _enough(records: Sequence[Mapping], params: Mapping) -> bool:
-    return len(_contributors(records)) >= int(params["instances"])
+    lead = tuple(params.get("schemes", DEFAULT_PAIR))[0]
+    return len(_contributors(records, lead)) >= int(params["instances"])
 
 
 def _aggregate(records: Sequence[Mapping], params: Mapping) -> Fig11Result:
-    sample = _contributors(records)[: int(params["instances"])]
+    schemes = tuple(params.get("schemes", DEFAULT_PAIR))
+    sample = _contributors(records, schemes[0])[: int(params["instances"])]
     return Fig11Result(
-        chronus_times=[int(r["chronus"]) for r in sample],
-        opt_times=[int(r["opt"]) for r in sample],
+        chronus_times=[int(r[schemes[0]]) for r in sample],
+        opt_times=[int(r[schemes[1]]) for r in sample],
+        schemes=schemes,  # type: ignore[arg-type]
     )
 
 
@@ -135,6 +153,7 @@ SCENARIO = register(
             "instances": 30,
             "base_seed": 5,
             "opt_budget": 2.0,
+            "schemes": DEFAULT_PAIR,
         },
         items=_items,
         evaluate=_evaluate,
@@ -151,6 +170,7 @@ def run_fig11(
     base_seed: int = 5,
     opt_budget: float = 2.0,
     max_workers: int = 1,
+    schemes: Sequence[str] = DEFAULT_PAIR,
 ) -> Fig11Result:
     """Collect update-time samples for both schemes.
 
@@ -169,6 +189,7 @@ def run_fig11(
             "instances": instances,
             "base_seed": base_seed,
             "opt_budget": opt_budget,
+            "schemes": tuple(schemes),
         },
         ctx=RunContext(workers=max_workers),
     )

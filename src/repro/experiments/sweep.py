@@ -14,6 +14,12 @@ per run.  For every instance the sweep runs:
 
 The per-instance records carry everything the three figures aggregate:
 congestion-case flags, congested time-extended link counts and makespans.
+
+Scheme dispatch goes through :mod:`repro.updates.registry`: the sweep
+resolves names with :func:`repro.updates.registry.sweep_planners` and loops
+over :class:`repro.updates.registry.Planner` entries -- any registered
+scheme (including ``tp`` and ``aug``) joins the sweep without this module
+changing.
 """
 
 from __future__ import annotations
@@ -22,16 +28,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.metrics import evaluate_schedule
-from repro.core.greedy import greedy_schedule
 from repro.core.instance import UpdateInstance, random_instance, segmented_instance
-from repro.core.optimal import optimal_schedule
 from repro.runtime import ParallelRunner
-from repro.updates.order_replacement import (
-    greedy_loop_free_rounds,
-    minimize_rounds,
-    realize_round_times,
-)
+from repro.updates.registry import DEFAULT_SCHEMES, sweep_planners
 
 
 def sweep_seed(base_seed: int, switch_count: int, index: int) -> int:
@@ -72,31 +71,10 @@ class SweepRecord:
     outcomes: Dict[str, InstanceOutcome] = field(default_factory=dict)
 
 
-def _verifier_agrees(instance: UpdateInstance, schedule, metrics) -> bool:
-    """Does the independent verifier reproduce the tracker's numbers?
-
-    Compares the consistency quantities the figures aggregate: congestion
-    freedom, the congested time-extended link count, and loop/drop
-    freedom.  (Loop and black-hole *event counts* are representation
-    dependent -- the tracker records one event per surviving emission
-    interval, the verifier one per emission -- so only their emptiness is
-    comparable.)
-    """
-    from repro.validate.verifier import verify_schedule
-
-    verdict = verify_schedule(instance, schedule)
-    return (
-        verdict.congestion_free == metrics.congestion_free
-        and verdict.congested_timed_links == metrics.congested_timed_links
-        and verdict.loop_free == metrics.loop_free
-        and verdict.drop_free == (metrics.blackhole_events == 0)
-    )
-
-
 def run_instance(
     instance: UpdateInstance,
     seed: int,
-    schemes: Sequence[str] = ("chronus", "or", "opt"),
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
     opt_budget: float = 1.0,
     or_budget: float = 0.5,
     or_skew: int = 3,
@@ -105,8 +83,15 @@ def run_instance(
     verify: bool = False,
     opt_engine: str = "array",
     or_engine: str = "array",
+    aug_epsilon: float = 0.0,
 ) -> Dict[str, InstanceOutcome]:
     """Evaluate the requested schemes on one instance.
+
+    Scheme names resolve through the planner registry
+    (:class:`repro.updates.registry.UnknownSchemeError` on a typo) and
+    evaluate in ``sweep_order`` -- the legacy chronus -> opt -> or code
+    order -- because all schemes share one per-instance RNG stream and
+    reordering would change every realised schedule.
 
     ``opt_node_budget`` / ``or_node_budget`` bound OPT and OR by explored
     search nodes instead of (or in addition to) wall clock -- deterministic
@@ -119,76 +104,37 @@ def run_instance(
     DESIGN.md §13) -- note the engines count explored nodes at different
     granularities, so node budgets are engine-specific.
 
+    ``aug_epsilon`` is AUG's transient capacity headroom (DESIGN.md §15);
+    at ``0.0`` AUG plans on the true network and matches Chronus exactly.
+
     With ``verify=True`` every evaluated schedule is re-checked by the
     independent verifier and the outcome's ``verifier_agrees`` flag is
     filled in (see :class:`InstanceOutcome`).
     """
     rng = random.Random(seed ^ 0x5EED)
+    knobs = {
+        "opt_budget": opt_budget,
+        "or_budget": or_budget,
+        "or_skew": or_skew,
+        "opt_node_budget": opt_node_budget,
+        "or_node_budget": or_node_budget,
+        "opt_engine": opt_engine,
+        "or_engine": or_engine,
+        "aug_epsilon": aug_epsilon,
+    }
     outcomes: Dict[str, InstanceOutcome] = {}
-
-    def conformance(schedule, metrics) -> Optional[bool]:
-        if not verify:
-            return None
-        return _verifier_agrees(instance, schedule, metrics)
-
-    if "chronus" in schemes:
-        result = greedy_schedule(instance)
-        metrics = evaluate_schedule(instance, result.schedule)
-        outcomes["chronus"] = InstanceOutcome(
-            scheme="chronus",
+    for planner in sweep_planners(schemes):
+        result = planner.plan(instance, rng=rng, **planner.sweep_options(knobs))
+        metrics = planner.measure(instance, result)
+        outcomes[planner.name] = InstanceOutcome(
+            scheme=planner.name,
             congestion_free=metrics.congestion_free and result.feasible,
             congested_timed_links=metrics.congested_timed_links,
             makespan=metrics.makespan,
-            verifier_agrees=conformance(result.schedule, metrics),
+            verifier_agrees=(
+                planner.conformance(instance, result, metrics) if verify else None
+            ),
         )
-
-    if "opt" in schemes:
-        result = optimal_schedule(
-            instance,
-            time_budget=opt_budget,
-            node_budget=opt_node_budget,
-            engine=opt_engine,
-        )
-        if result.schedule is not None:
-            metrics = evaluate_schedule(instance, result.schedule)
-            outcomes["opt"] = InstanceOutcome(
-                scheme="opt",
-                congestion_free=metrics.congestion_free,
-                congested_timed_links=metrics.congested_timed_links,
-                makespan=metrics.makespan,
-                verifier_agrees=conformance(result.schedule, metrics),
-            )
-        else:
-            # Infeasible (or budget ran out): execute best-effort loop-free
-            # rounds and account the resulting congestion.
-            rounds = greedy_loop_free_rounds(instance)
-            fallback = realize_round_times(rounds, rng=rng, max_skew=0)
-            metrics = evaluate_schedule(instance, fallback)
-            outcomes["opt"] = InstanceOutcome(
-                scheme="opt",
-                congestion_free=False,
-                congested_timed_links=metrics.congested_timed_links,
-                makespan=metrics.makespan,
-                verifier_agrees=conformance(fallback, metrics),
-            )
-
-    if "or" in schemes:
-        rounds = minimize_rounds(
-            instance,
-            time_budget=or_budget,
-            node_budget=or_node_budget,
-            engine=or_engine,
-        ).rounds
-        realized = realize_round_times(rounds, rng=rng, max_skew=or_skew)
-        metrics = evaluate_schedule(instance, realized)
-        outcomes["or"] = InstanceOutcome(
-            scheme="or",
-            congestion_free=metrics.congestion_free,
-            congested_timed_links=metrics.congested_timed_links,
-            makespan=metrics.makespan,
-            verifier_agrees=conformance(realized, metrics),
-        )
-
     return outcomes
 
 
@@ -246,6 +192,7 @@ class SweepItem:
     verify: bool = False
     opt_engine: str = "array"
     or_engine: str = "array"
+    aug_epsilon: float = 0.0
 
     def build_instance(self) -> UpdateInstance:
         if self.workload == "mixed":
@@ -274,6 +221,7 @@ def evaluate_sweep_item(item: SweepItem) -> SweepRecord:
         verify=item.verify,
         opt_engine=item.opt_engine,
         or_engine=item.or_engine,
+        aug_epsilon=item.aug_epsilon,
     )
     return record
 
@@ -282,7 +230,7 @@ def run_sweep(
     switch_counts: Sequence[int],
     instances_per_size: int = 20,
     base_seed: int = 0,
-    schemes: Sequence[str] = ("chronus", "or", "opt"),
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
     opt_budget: float = 1.0,
     workload: str = "mixed",
     max_delay: Optional[int] = None,
@@ -295,6 +243,7 @@ def run_sweep(
     verify: bool = False,
     opt_engine: str = "array",
     or_engine: str = "array",
+    aug_epsilon: float = 0.0,
 ) -> List[SweepRecord]:
     """Generate and evaluate random instances for each network size.
 
@@ -326,6 +275,9 @@ def run_sweep(
             re-checking its schedule with the independent verifier.
         opt_engine: OPT search engine (``"array"``/``"reference"``).
         or_engine: OR round-minimisation engine (same choices).
+        aug_epsilon: AUG's transient capacity headroom (``0.0`` matches
+            Chronus exactly; unit-capacity workloads need ``>= 1.0`` to
+            bind).
     """
     items = [
         SweepItem(
@@ -342,6 +294,7 @@ def run_sweep(
             verify=verify,
             opt_engine=opt_engine,
             or_engine=or_engine,
+            aug_epsilon=aug_epsilon,
         )
         for count in switch_counts
         for index in range(instances_per_size)
@@ -432,7 +385,7 @@ def _register_scenario():
                 "switch_counts": (10, 20, 30),
                 "instances_per_size": 10,
                 "base_seed": 0,
-                "schemes": ("chronus", "or", "opt"),
+                "schemes": DEFAULT_SCHEMES,
                 "opt_budget": 1.0,
                 "or_budget": 0.5,
                 "workload": "mixed",
@@ -443,6 +396,7 @@ def _register_scenario():
                 "verify": False,
                 "opt_engine": "array",
                 "or_engine": "array",
+                "aug_epsilon": 0.0,
             },
             items=sweep_items,
             evaluate=sweep_evaluate,

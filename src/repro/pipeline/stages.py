@@ -60,6 +60,7 @@ def sweep_evaluate(
         verify=verify,
         opt_engine=str(params.get("opt_engine", "array")),
         or_engine=str(params.get("or_engine", "array")),
+        aug_epsilon=float(params.get("aug_epsilon", 0.0) or 0.0),
     )
     record = evaluate_sweep_item(sweep_item)
     return {

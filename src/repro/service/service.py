@@ -39,7 +39,6 @@ from repro.controller.channel import (
 )
 from repro.controller.controller import Controller
 from repro.controller.resilient import perform_resilient_update
-from repro.core.greedy import greedy_schedule
 from repro.core.instance import UpdateInstance, config_from_path
 from repro.network.flows import Flow
 from repro.perf import perf
@@ -59,7 +58,7 @@ from repro.simulator.engine import Simulator
 from repro.simulator.flowtable import FlowRule, Match
 from repro.simulator.switch import HOST_PORT
 from repro.trace.recorder import trace_event
-from repro.validate.verifier import verify_schedule
+from repro.updates.registry import get_planner
 
 
 @dataclass(frozen=True)
@@ -82,6 +81,9 @@ class ServiceConfig:
     lead_ticks: int = 1
     max_retries: int = 3
     verify: bool = True
+    #: Registered planner that computes every tenant schedule; any
+    #: timed-executor scheme works (``chronus`` default, ``aug``, ...).
+    scheme: str = "chronus"
 
 
 @dataclass
@@ -102,6 +104,7 @@ class UpdateService:
     def __init__(self, workload: ServiceWorkload, config: ServiceConfig) -> None:
         self.workload = workload
         self.config = config
+        self._scheme_planner = get_planner(config.scheme)
         self._sim = Simulator()
         self._plane: DataPlane = build_dataplane(
             self._sim, workload.network, delay_scale=config.time_unit
@@ -303,7 +306,7 @@ class UpdateService:
                     continue
                 instance = self._instance_for(pod, target)
                 background = self._background_for(pod)
-                result = greedy_schedule(instance, background=background)
+                result = self._scheme_planner.plan(instance, background=background)
                 plans.append(
                     (pod, effective, superseded, instance, result, background)
                 )
@@ -342,7 +345,7 @@ class UpdateService:
 
                 conformant: Optional[bool] = None
                 if config.verify:
-                    conformant = verify_schedule(
+                    conformant = self._scheme_planner.verify(
                         instance, result.schedule, background=background
                     ).ok
 

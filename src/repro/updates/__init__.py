@@ -9,10 +9,31 @@ plus rule-operation accounting.  The benchmark schemes follow Section V:
 * ``or`` -- order replacement updates minimising controller rounds while
   avoiding forwarding loops (Ludwig et al.), solved greedily or exactly by
   branch and bound;
-* ``opt`` -- the optimal MUTP solution.
+* ``opt`` -- the optimal MUTP solution;
+* ``aug`` -- greedy timed updates with ``(1+epsilon)`` transient capacity
+  headroom (Henzinger & Pourdamghani).
+
+Each scheme also registers a :class:`repro.updates.registry.Planner` at
+import time; downstream code dispatches through the registry
+(:func:`repro.updates.registry.get_planner`) rather than comparing scheme
+names.
 """
 
 from repro.updates.base import RuleAccounting, UpdatePlan, UpdateProtocol
+from repro.updates.registry import (
+    DEFAULT_SCHEMES,
+    DuplicateSchemeError,
+    PlanResult,
+    Planner,
+    SchemeMetrics,
+    UnknownSchemeError,
+    available_schemes,
+    find_planner,
+    get_planner,
+    planners_for,
+    register_planner,
+    sweep_planners,
+)
 from repro.updates.chronus import ChronusProtocol
 from repro.updates.two_phase import TwoPhaseProtocol, two_phase_congestion_spans
 from repro.updates.order_replacement import (
@@ -21,11 +42,24 @@ from repro.updates.order_replacement import (
     realize_round_times,
 )
 from repro.updates.optimal import OptimalProtocol
+from repro.updates.augmented import AugmentedProtocol, augmented_instance
 
 __all__ = [
     "RuleAccounting",
     "UpdatePlan",
     "UpdateProtocol",
+    "DEFAULT_SCHEMES",
+    "DuplicateSchemeError",
+    "PlanResult",
+    "Planner",
+    "SchemeMetrics",
+    "UnknownSchemeError",
+    "available_schemes",
+    "find_planner",
+    "get_planner",
+    "planners_for",
+    "register_planner",
+    "sweep_planners",
     "ChronusProtocol",
     "TwoPhaseProtocol",
     "two_phase_congestion_spans",
@@ -33,4 +67,6 @@ __all__ = [
     "minimize_rounds",
     "realize_round_times",
     "OptimalProtocol",
+    "AugmentedProtocol",
+    "augmented_instance",
 ]

@@ -10,6 +10,7 @@ updates (Fig. 9).
 
 from __future__ import annotations
 
+import random
 from typing import Optional
 
 from repro.core.greedy import EXACT, INCREMENTAL, greedy_schedule
@@ -20,6 +21,7 @@ from repro.updates.base import (
     UpdateProtocol,
     count_baseline_rules,
 )
+from repro.updates.registry import PlanResult, Planner, register_planner
 
 
 class ChronusProtocol(UpdateProtocol):
@@ -85,3 +87,42 @@ class ChronusProtocol(UpdateProtocol):
             instance=instance,
             verdict=verdict,
         )
+
+
+class ChronusPlanner(Planner):
+    """Registry entry for Chronus (see :class:`ChronusProtocol`)."""
+
+    name = "chronus"
+    title = "Chronus: greedy congestion- and loop-free timed updates (Alg. 2)"
+    sweep_order = 0
+    supports_engine = True
+
+    def _plan(
+        self,
+        instance: UpdateInstance,
+        *,
+        rng: Optional[random.Random] = None,
+        background=None,
+        t0: int = 0,
+        engine: str = INCREMENTAL,
+        mode: str = EXACT,
+        **_,
+    ) -> PlanResult:
+        result = greedy_schedule(
+            instance, t0=t0, mode=mode, background=background, engine=engine
+        )
+        notes = ""
+        if not result.feasible:
+            notes = f"best-effort after stalling at t={result.stalled_at}"
+        return PlanResult(
+            scheme=self.name,
+            schedule=result.schedule,
+            feasible=result.feasible,
+            notes=notes,
+        )
+
+    def protocol(self, **options) -> ChronusProtocol:
+        return ChronusProtocol(verify=bool(options.get("verify", False)))
+
+
+register_planner(ChronusPlanner())

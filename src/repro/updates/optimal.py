@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Optional
+import random
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.core.instance import UpdateInstance
 from repro.core.optimal import optimal_schedule
@@ -14,6 +15,7 @@ from repro.updates.base import (
     UpdateProtocol,
     count_baseline_rules,
 )
+from repro.updates.registry import PlanResult, Planner, register_planner
 
 
 class OptimalProtocol(UpdateProtocol):
@@ -97,3 +99,100 @@ class OptimalProtocol(UpdateProtocol):
             instance=instance,
             verdict=verdict,
         )
+
+
+class OptPlanner(Planner):
+    """Registry entry for the exact MUTP optimum."""
+
+    name = "opt"
+    title = "OPT: branch-and-bound optimum of the MUTP program"
+    sweep_order = 1
+    exact = True
+    supports_engine = True
+    supports_budget = True
+
+    def _plan(
+        self,
+        instance: UpdateInstance,
+        *,
+        rng: Optional[random.Random] = None,
+        background=None,
+        t0: int = 0,
+        time_budget: Optional[float] = None,
+        node_budget: Optional[int] = None,
+        engine: str = "array",
+        **_,
+    ) -> PlanResult:
+        result = optimal_schedule(
+            instance,
+            t0=t0,
+            time_budget=time_budget,
+            node_budget=node_budget,
+            engine=engine,
+        )
+        if result.schedule is not None:
+            return PlanResult(
+                scheme=self.name,
+                schedule=result.schedule,
+                feasible=True,
+                notes="" if result.proven else "optimality not proven (budget)",
+            )
+        # Infeasible (or budget ran out): execute best-effort loop-free
+        # rounds and account the resulting congestion.
+        rounds = greedy_loop_free_rounds(instance)
+        if rng is None:
+            rng = random.Random(0)
+        from repro.updates.order_replacement import realize_round_times
+
+        fallback = realize_round_times(rounds, rng=rng, max_skew=0, t0=t0)
+        return PlanResult(
+            scheme=self.name,
+            schedule=fallback,
+            feasible=False,
+            notes=(
+                "no congestion-free schedule exists"
+                if result.proven
+                else "search budget exhausted without a feasible schedule"
+            ),
+        )
+
+    def sweep_options(self, params: Mapping[str, object]) -> Dict[str, object]:
+        return {
+            "time_budget": params.get("opt_budget", 1.0),
+            "node_budget": params.get("opt_node_budget"),
+            "engine": params.get("opt_engine", "array"),
+        }
+
+    def protocol(self, **options) -> OptimalProtocol:
+        return OptimalProtocol(
+            time_budget=options.get("time_budget"),
+            node_budget=options.get("node_budget"),
+            verify=bool(options.get("verify", False)),
+        )
+
+    def fault_schedule(
+        self,
+        instance: UpdateInstance,
+        *,
+        node_budget: Optional[int] = None,
+        epsilon: float = 0.0,
+    ) -> Optional[UpdateSchedule]:
+        return self.protocol(node_budget=node_budget).plan(instance).schedule
+
+    def timed_run(self, instance: UpdateInstance, cutoff: float) -> Tuple[float, bool]:
+        result = optimal_schedule(instance, time_budget=cutoff)
+        return result.elapsed, result.proven
+
+    def makespan_sample(self, instance: UpdateInstance, **options) -> Optional[int]:
+        result = optimal_schedule(
+            instance,
+            time_budget=options.get("time_budget"),
+            node_budget=options.get("node_budget"),
+            engine=str(options.get("engine", "array")),
+        )
+        if result.schedule is None:
+            return None
+        return result.schedule.makespan
+
+
+register_planner(OptPlanner())

@@ -1,0 +1,346 @@
+"""The planner registry: every update scheme behind one first-class seam.
+
+Historically the four schemes (``chronus``/``or``/``tp``/``opt``) were
+dispatched by literal-string if-chains duplicated across the sweep, the
+figure scenarios, the faults ablation, the validation gate, serialization
+and the update service -- adding a fifth scheme meant editing ~15 files.
+This module replaces all of that with a process-global, exact-name
+registry of :class:`Planner` entries:
+
+* a planner produces a normalized :class:`PlanResult` via
+  :meth:`Planner.plan` (wrapped in a trace span carrying the scheme name);
+* capability flags (``two_phase``, ``exact``, ``supports_engine``,
+  ``supports_budget``) and the ``executor`` strategy replace every
+  name comparison downstream -- the verify adapter picks
+  ``verify_schedule`` vs ``verify_two_phase`` from ``two_phase``, the
+  gate's install skew and the differential replay pick their execution
+  strategy from ``executor``, Fig. 10 decides proven-gated aggregation
+  from ``exact``;
+* ``sweep_order`` pins the registry loop to the legacy if-chain order
+  (chronus -> opt -> or), which keeps the shared per-instance RNG stream
+  -- and therefore every pinned record -- byte-identical.
+
+Planners register themselves at import time from their own
+``repro.updates`` modules (:func:`register_planner`); lookups are by
+**exact** name and unknown names raise :class:`UnknownSchemeError`
+listing the registered planners.  Adding a scheme is one new module:
+subclass :class:`Planner`, implement ``_plan`` (and ``protocol`` for the
+gate), call ``register_planner`` -- every sweep, scenario, gate and
+serializer picks it up.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.instance import UpdateInstance
+from repro.core.schedule import UpdateSchedule
+from repro.trace import recorder
+from repro.updates.base import UpdateProtocol
+
+#: Execution strategies (shared with :mod:`repro.validate.differential`).
+TIMED = "timed"
+ROUNDS = "rounds"
+TWO_PHASE = "two-phase"
+
+#: The sweep's default scheme set -- the trio every figure aggregates.
+DEFAULT_SCHEMES = ("chronus", "or", "opt")
+
+
+class UnknownSchemeError(ValueError):
+    """An unregistered scheme name, with the registered names attached."""
+
+    def __init__(self, name: str, valid: Sequence[str]):
+        self.name = name
+        self.valid = list(valid)
+        super().__init__(
+            f"unknown scheme {name!r}; registered planners: "
+            f"{', '.join(self.valid)}"
+        )
+
+
+class DuplicateSchemeError(ValueError):
+    """A second, different planner class claimed an already-taken name."""
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """A planner's normalized answer for one instance.
+
+    Attributes:
+        scheme: The planner's registry name.
+        schedule: The (possibly realised) switch update times.
+        feasible: The planner's consistency claim.  ``False`` means the
+            outcome counts as a congestion case regardless of measured
+            metrics (OPT's best-effort fallback, Chronus stalling);
+            planners that make no claim and are judged purely by their
+            metrics (OR's realised rounds) report ``True``.
+        notes: Free-form diagnostics.
+    """
+
+    scheme: str
+    schedule: UpdateSchedule
+    feasible: bool = True
+    notes: str = ""
+
+
+@dataclass(frozen=True)
+class SchemeMetrics:
+    """Metrics surface for planners measured outside the interval tracker.
+
+    Mirrors the attributes of
+    :class:`repro.analysis.metrics.ScheduleMetrics` that the sweep and
+    the conformance check read, so two-phase plans (judged by the exact
+    overtaking-span formula, not the tracker) flow through the same
+    registry loop.
+    """
+
+    makespan: int
+    congested_timed_links: int
+    blackhole_events: int
+    congestion_free: bool
+    loop_free: bool
+
+
+class Planner(abc.ABC):
+    """One registered update scheme: planning, measurement, verification.
+
+    Class attributes (the capability surface downstream code dispatches
+    on -- never compare scheme names):
+
+    Attributes:
+        name: Exact registry name.
+        title: One-line human description (docs, ``available_schemes``).
+        sweep_order: Position in the shared sweep's registry loop.  The
+            legacy if-chain evaluated chronus -> opt -> or in fixed code
+            order while sharing one RNG; preserving that order preserves
+            the RNG stream and keeps pinned records byte-identical.
+        two_phase: Plans describe versioned rule installs plus an ingress
+            flip; verified by ``verify_two_phase`` and measured by the
+            overtaking-span formula instead of the interval tracker.
+        exact: The planner is an anytime exact search -- it reports a
+            ``proven`` flag and Fig. 10 aggregates it cutoff-gated.
+        supports_engine: Accepts an ``engine=`` option.
+        supports_budget: Accepts ``time_budget=`` / ``node_budget=``.
+        executor: Execution strategy (``"timed"``/``"rounds"``/
+            ``"two-phase"``) for the differential replay, the gate's
+            install skew and the fault-injection runner.
+    """
+
+    name: str = "abstract"
+    title: str = ""
+    sweep_order: int = 99
+    two_phase: bool = False
+    exact: bool = False
+    supports_engine: bool = False
+    supports_budget: bool = False
+    executor: str = TIMED
+
+    # -- planning ------------------------------------------------------
+
+    def plan(self, instance: UpdateInstance, **options) -> PlanResult:
+        """Plan ``instance``, wrapped in a trace span tagged with the scheme.
+
+        Keyword options (``rng``, ``background``, ``engine``,
+        ``time_budget``, ``node_budget``, ...) are forwarded to the
+        scheme's :meth:`_plan`; each planner consumes what it supports.
+        """
+        handle = recorder.span("plan", {"scheme": self.name})
+        try:
+            result = self._plan(instance, **options)
+            if handle.span_id is not None:
+                handle.attributes.update(
+                    {
+                        "feasible": result.feasible,
+                        "makespan": result.schedule.makespan,
+                    }
+                )
+        finally:
+            handle.close()
+        return result
+
+    @abc.abstractmethod
+    def _plan(
+        self,
+        instance: UpdateInstance,
+        *,
+        rng: Optional[random.Random] = None,
+        background=None,
+        t0: int = 0,
+        **options,
+    ) -> PlanResult:
+        """Scheme-specific planning (no tracing concerns)."""
+
+    def sweep_options(self, params: Mapping[str, object]) -> Dict[str, object]:
+        """Extract this planner's knobs from a flat sweep-parameter mapping.
+
+        Convention: sweep parameters are prefixed with the scheme name
+        (``opt_budget``, ``or_skew``, ``aug_epsilon``); each planner owns
+        its prefix, so the sweep itself never names a scheme.
+        """
+        return {}
+
+    def protocol(self, **options) -> UpdateProtocol:
+        """Instantiate the scheme's :class:`UpdateProtocol` (gate factory).
+
+        Recognised options -- ``node_budget``, ``verify``, ``rng``,
+        ``epsilon`` -- are consumed where the scheme supports them and
+        ignored otherwise, exactly like the gate's legacy factory dict.
+        """
+        raise NotImplementedError(f"{self.name} has no protocol factory")
+
+    # -- measurement and verification ----------------------------------
+
+    def measure(self, instance: UpdateInstance, result: PlanResult):
+        """Consistency metrics of ``result`` on the *true* instance."""
+        from repro.analysis.metrics import evaluate_schedule
+
+        return evaluate_schedule(instance, result.schedule)
+
+    def verify(self, instance: UpdateInstance, schedule: UpdateSchedule, *, background=None):
+        """Independent verdict under the scheme's own semantics.
+
+        The registry-wide verify adapter: two-phase planners override
+        this to route through ``verify_two_phase``; everything else means
+        exactly what ``verify_schedule`` checks.
+        """
+        from repro.validate.verifier import verify_schedule
+
+        return verify_schedule(instance, schedule, background=background)
+
+    def conformance(self, instance: UpdateInstance, result: PlanResult, metrics) -> bool:
+        """Does the independent verifier reproduce the measured numbers?
+
+        Compares the quantities the figures aggregate: congestion
+        freedom, the congested time-extended link count, and loop/drop
+        freedom.  (Loop and black-hole *event counts* are representation
+        dependent, so only their emptiness is comparable.)
+        """
+        verdict = self.verify(instance, result.schedule)
+        return (
+            verdict.congestion_free == metrics.congestion_free
+            and verdict.congested_timed_links == metrics.congested_timed_links
+            and verdict.loop_free == metrics.loop_free
+            and verdict.drop_free == (metrics.blackhole_events == 0)
+        )
+
+    # -- scenario adapters ---------------------------------------------
+
+    def fault_schedule(
+        self,
+        instance: UpdateInstance,
+        *,
+        node_budget: Optional[int] = None,
+        epsilon: float = 0.0,
+    ) -> Optional[UpdateSchedule]:
+        """The severity-independent schedule the faults ablation executes.
+
+        ``None`` means the scheme plans nothing up front (two-phase:
+        install shadow rules, flip the ingress).  Round-based schemes
+        return their *nominal* round schedule.
+        """
+        return self.plan(instance).schedule
+
+    def timed_run(self, instance: UpdateInstance, cutoff: float) -> Tuple[float, bool]:
+        """(elapsed seconds, proven) of one Fig. 10 timing measurement.
+
+        Exact planners receive ``cutoff`` as their anytime budget and
+        report the solver's own elapsed/proven pair; heuristics are
+        wall-clocked and always "proven".
+        """
+        started = time.monotonic()
+        self._plan(instance)
+        return time.monotonic() - started, True
+
+    def makespan_sample(self, instance: UpdateInstance, **options) -> Optional[int]:
+        """Fig. 11 contribution: the makespan, or ``None`` to skip.
+
+        ``None`` marks the instance non-contributing for this scheme
+        (infeasible greedy result, exact search empty-handed); Fig. 11
+        drops the instance from every scheme's sample to keep the CDFs
+        paired.
+        """
+        result = self._plan(instance, **options)
+        if not result.feasible:
+            return None
+        return result.schedule.makespan
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+# -- the process-global registry ---------------------------------------
+
+_REGISTRY: Dict[str, Planner] = {}
+_LOADED = False
+
+
+def register_planner(planner: Planner) -> Planner:
+    """Register a planner under its exact name.
+
+    Re-registering the *same* planner class (module reload) is allowed;
+    a different class claiming a taken name raises
+    :class:`DuplicateSchemeError` -- name collisions between schemes are
+    always bugs.
+    """
+    existing = _REGISTRY.get(planner.name)
+    if existing is not None and type(existing).__qualname__ != type(planner).__qualname__:
+        raise DuplicateSchemeError(
+            f"scheme {planner.name!r} is already registered by "
+            f"{type(existing).__name__}; pick a distinct name"
+        )
+    _REGISTRY[planner.name] = planner
+    return planner
+
+
+def _ensure_loaded() -> None:
+    """Populate the registry by importing the planner modules."""
+    global _LOADED
+    if not _LOADED:
+        _LOADED = True
+        import repro.updates  # noqa: F401  (registration side effect)
+
+
+def available_schemes() -> Tuple[str, ...]:
+    """Every registered scheme name, sorted."""
+    _ensure_loaded()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_planner(name: str) -> Planner:
+    """Exact-name lookup; unknown names list the registered planners."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownSchemeError(name, sorted(_REGISTRY)) from None
+
+
+def find_planner(name: str) -> Optional[Planner]:
+    """Like :func:`get_planner` but ``None`` for unknown names."""
+    _ensure_loaded()
+    return _REGISTRY.get(name)
+
+
+def planners_for(schemes: Sequence[str]) -> List[Planner]:
+    """Resolve a scheme-name sequence, preserving the caller's order.
+
+    Raises:
+        UnknownSchemeError: on the first unregistered name -- the
+            fail-fast every scenario and the CLI validate with.
+    """
+    return [get_planner(name) for name in schemes]
+
+
+def sweep_planners(schemes: Sequence[str]) -> List[Planner]:
+    """Resolve scheme names in the sweep's evaluation order.
+
+    Sorted by ``sweep_order`` so the registry loop consumes the shared
+    per-instance RNG exactly as the legacy if-chain did, regardless of
+    the order the caller listed the schemes in.
+    """
+    return sorted(planners_for(schemes), key=lambda p: (p.sweep_order, p.name))

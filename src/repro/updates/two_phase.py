@@ -35,6 +35,13 @@ from repro.updates.base import (
     count_baseline_rules,
     union_rule_switches,
 )
+from repro.updates.registry import (
+    TWO_PHASE,
+    PlanResult,
+    Planner,
+    SchemeMetrics,
+    register_planner,
+)
 
 _EPS = 1e-9
 
@@ -134,3 +141,67 @@ def two_phase_congestion_spans(
         )
     spans.sort(key=lambda span: (span.start, span.link))
     return spans
+
+
+class TwoPhasePlanner(Planner):
+    """Registry entry for two-phase versioned updates.
+
+    Two-phase plans carry versioned-install semantics, so the capability
+    flags route them away from the tracker: measurement uses the exact
+    overtaking-span formula and verification uses ``verify_two_phase``
+    on the ingress flip time.
+    """
+
+    name = "tp"
+    title = "TP: two-phase versioned updates with an ingress flip"
+    sweep_order = 3
+    two_phase = True
+    executor = TWO_PHASE
+
+    def _plan(
+        self,
+        instance: UpdateInstance,
+        *,
+        rng=None,
+        background=None,
+        t0: int = 0,
+        flip_delay: int = 1,
+        **_,
+    ) -> PlanResult:
+        plan = TwoPhaseProtocol(flip_delay=flip_delay).plan(instance, t0=t0)
+        return PlanResult(
+            scheme=self.name,
+            schedule=plan.schedule,
+            feasible=plan.feasible,
+            notes=plan.notes,
+        )
+
+    def measure(self, instance: UpdateInstance, result: PlanResult) -> SchemeMetrics:
+        flip_time = result.schedule.time_of(instance.source)
+        spans = two_phase_congestion_spans(instance, flip_time)
+        return SchemeMetrics(
+            makespan=result.schedule.makespan,
+            congested_timed_links=sum(span.timed_link_count for span in spans),
+            blackhole_events=0,
+            congestion_free=not spans,
+            loop_free=True,  # per-packet consistency: loops impossible
+        )
+
+    def verify(self, instance: UpdateInstance, schedule: UpdateSchedule, *, background=None):
+        from repro.validate.verifier import verify_two_phase
+
+        return verify_two_phase(
+            instance,
+            schedule.time_of(instance.source),
+            t0=schedule.t0,
+            background=background,
+        )
+
+    def protocol(self, **options) -> TwoPhaseProtocol:
+        return TwoPhaseProtocol(verify=bool(options.get("verify", False)))
+
+    def fault_schedule(self, instance: UpdateInstance, **_) -> None:
+        return None  # tp plans nothing: install shadow rules, flip the ingress
+
+
+register_planner(TwoPhasePlanner())

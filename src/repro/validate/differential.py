@@ -51,13 +51,10 @@ from repro.simulator.flowtable import FlowRule, Match
 from repro.simulator.switch import HOST_PORT
 from repro.validate.verifier import verify_schedule, verify_two_phase
 
+from repro.updates.registry import ROUNDS, TIMED, TWO_PHASE, find_planner
+
 LinkKey = Tuple[Node, Node]
 
-TIMED = "timed"
-ROUNDS = "rounds"
-TWO_PHASE = "two-phase"
-
-_DEFAULT_EXECUTORS = {"chronus": TIMED, "opt": TIMED, "or": ROUNDS, "tp": TWO_PHASE}
 _TP_TAG = 2
 
 
@@ -197,7 +194,8 @@ def differential_replay(
     if instance is None:
         raise ValueError("differential_replay needs the plan's update instance")
     if executor is None:
-        executor = _DEFAULT_EXECUTORS.get(plan.protocol, TIMED)
+        planner = find_planner(plan.protocol)
+        executor = planner.executor if planner is not None else TIMED
     schedule: UpdateSchedule = plan.schedule
     t0 = schedule.t0
 

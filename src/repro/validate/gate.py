@@ -93,22 +93,19 @@ class GateReport:
 
 
 def _build_protocols(protocols: Sequence[str], node_budget: Optional[int]):
-    """Instantiate the requested protocol objects (verify-enabled)."""
-    from repro.updates.chronus import ChronusProtocol
-    from repro.updates.optimal import OptimalProtocol
-    from repro.updates.order_replacement import OrderReplacementProtocol
-    from repro.updates.two_phase import TwoPhaseProtocol
+    """Instantiate the requested protocol objects (verify-enabled).
 
-    factories = {
-        "chronus": lambda: ChronusProtocol(verify=True),
-        "opt": lambda: OptimalProtocol(node_budget=node_budget, verify=True),
-        "or": lambda: OrderReplacementProtocol(node_budget=node_budget, verify=True),
-        "tp": lambda: TwoPhaseProtocol(verify=True),
-    }
-    unknown = [name for name in protocols if name not in factories]
-    if unknown:
-        raise ValueError(f"unknown protocol(s): {unknown!r}")
-    return [(name, factories[name]()) for name in protocols]
+    Resolution goes through the planner registry: each planner's
+    ``protocol`` factory consumes the options it supports (the node
+    budget binds OPT's and OR's exact searches) and ignores the rest,
+    like the legacy factory dict did.
+    """
+    from repro.updates.registry import planners_for
+
+    return [
+        (planner, planner.protocol(node_budget=node_budget, verify=True))
+        for planner in planners_for(protocols)
+    ]
 
 
 def check_plan(
@@ -143,7 +140,10 @@ def check_plan(
             "violations:\n" + verdict.describe()
         )
 
-    if plan.protocol == "tp":
+    from repro.updates.registry import find_planner
+
+    planner = find_planner(plan.protocol)
+    if planner is not None and planner.two_phase:
         # Two engines for two-phase congestion: the closed-form overtaking
         # spans versus the verifier's per-emission walk.
         from repro.updates.two_phase import two_phase_congestion_spans
@@ -238,6 +238,8 @@ def run_gate(
     """
     from repro.experiments.sweep import mixed_instance, sweep_seed
 
+    from repro.updates.registry import ROUNDS
+
     named = _build_protocols(protocols, node_budget)
     report = GateReport(
         instances=instance_count, switch_count=switch_count, protocols=tuple(protocols)
@@ -245,7 +247,7 @@ def run_gate(
     for index in range(instance_count):
         seed = sweep_seed(base_seed, switch_count, index)
         instance = mixed_instance(switch_count, seed)
-        for name, protocol in named:
+        for planner, protocol in named:
             plan = protocol.plan(instance)
             report.checked += 1
             report.disagreements.extend(
@@ -255,7 +257,7 @@ def run_gate(
                     seed=seed,
                     switch_count=switch_count,
                     replay=replay,
-                    install_skew=install_skew if name == "or" else 0,
+                    install_skew=install_skew if planner.executor == ROUNDS else 0,
                 )
             )
         if progress is not None:

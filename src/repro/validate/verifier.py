@@ -201,15 +201,18 @@ def verify_two_phase(
 def verify_plan(instance: UpdateInstance, plan) -> Verdict:
     """Verify an :class:`repro.updates.base.UpdatePlan` under its own semantics.
 
-    Two-phase plans are judged with :func:`verify_two_phase` (their nominal
-    schedule describes versioned rule installs, not in-place replacements);
-    every other protocol's schedule means exactly what
-    :func:`verify_schedule` checks.
+    The plan's registered planner supplies the verify adapter: two-phase
+    planners route through :func:`verify_two_phase` (their nominal
+    schedule describes versioned rule installs, not in-place
+    replacements); every other scheme's schedule means exactly what
+    :func:`verify_schedule` checks.  Plans from unregistered protocols
+    fall back to :func:`verify_schedule`.
     """
-    if plan.protocol == "tp":
-        return verify_two_phase(
-            instance, plan.schedule.time_of(instance.source), t0=plan.schedule.t0
-        )
+    from repro.updates.registry import find_planner
+
+    planner = find_planner(plan.protocol)
+    if planner is not None:
+        return planner.verify(instance, plan.schedule)
     return verify_schedule(instance, plan.schedule)
 
 
